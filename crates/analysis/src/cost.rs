@@ -1,0 +1,144 @@
+//! Cost accounting and scaling claims (paper Discussion section).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost summary of one construction at one size.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// The `n` construction parameter.
+    pub n: usize,
+    /// Fabric port count.
+    pub ports: usize,
+    /// Switch count.
+    pub switches: usize,
+    /// Cable count (bidirectional links).
+    pub cables: usize,
+    /// Switch radix used.
+    pub radix: usize,
+}
+
+impl CostModel {
+    /// The two-level nonblocking `ftree(n+n², n+n²)` built from same-size
+    /// switches: `N = n+n²` port switches, `2n²+n` of them, `n³+n²` ports.
+    pub fn two_level_nonblocking(n: usize) -> CostModel {
+        let n2 = n * n;
+        let r = n + n2;
+        CostModel {
+            n,
+            ports: r * n,
+            switches: r + n2,
+            cables: r * n + r * n2,
+            radix: n + n2,
+        }
+    }
+
+    /// The three-level recursive nonblocking network: `n⁴+n³` ports from
+    /// `2n⁴+2n³+n²` switches of radix `n+n²`.
+    pub fn three_level_nonblocking(n: usize) -> CostModel {
+        let n2 = n * n;
+        let r = n2 * n + n2;
+        let inner_r = n2 + n;
+        CostModel {
+            n,
+            ports: r * n,
+            switches: r + n2 * (inner_r + n2),
+            cables: r * n + r * n2 + n2 * inner_r * n2,
+            radix: n + n2,
+        }
+    }
+
+    /// The rearrangeable m-port 2-tree `FT(N, 2)` with `N = n+n²` (the
+    /// Table I comparator at equal radix): `N²/2` ports, `3N/2` switches.
+    /// `None` when `N` is odd.
+    pub fn ft2_same_radix(n: usize) -> Option<CostModel> {
+        let radix = n + n * n; // always even: n(n+1)
+        let half = radix / 2;
+        Some(CostModel {
+            n,
+            ports: 2 * half * half,
+            switches: 3 * half,
+            cables: 2 * half * half + 2 * half * half, // node cables + uplink cables
+            radix,
+        })
+    }
+
+    /// Switches per port.
+    pub fn switches_per_port(&self) -> f64 {
+        self.switches as f64 / self.ports as f64
+    }
+}
+
+/// The Discussion-section scaling claim for two levels: with `N = n²+n`,
+/// roughly `2N` `N`-port switches yield roughly `N^{3/2}` nonblocking
+/// ports. Returns `(switches / N, ports / N^{3/2})` — both should approach
+/// constants (2 and 1) as `n` grows.
+pub fn two_level_scaling_ratios(n: usize) -> (f64, f64) {
+    let m = CostModel::two_level_nonblocking(n);
+    let big_n = (n + n * n) as f64;
+    (m.switches as f64 / big_n, m.ports as f64 / big_n.powf(1.5))
+}
+
+/// The three-level claim: `O(N²)` `O(N)`-port switches yield `O(N²)` ports.
+/// Returns `(switches / N², ports / N²)`.
+pub fn three_level_scaling_ratios(n: usize) -> (f64, f64) {
+    let m = CostModel::three_level_nonblocking(n);
+    let big_n = (n + n * n) as f64;
+    (
+        m.switches as f64 / (big_n * big_n),
+        m.ports as f64 / (big_n * big_n),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_level_matches_paper_counts() {
+        // n=4 -> 20-port switches, 36 switches, 80 ports (Table I).
+        let m = CostModel::two_level_nonblocking(4);
+        assert_eq!(m.radix, 20);
+        assert_eq!(m.switches, 36);
+        assert_eq!(m.ports, 80);
+        // Cables: 80 leaf + 20*16 uplinks.
+        assert_eq!(m.cables, 80 + 320);
+    }
+
+    #[test]
+    fn three_level_counts() {
+        let m = CostModel::three_level_nonblocking(2);
+        assert_eq!(m.ports, 24);
+        assert_eq!(m.switches, 52);
+        assert_eq!(m.radix, 6);
+    }
+
+    #[test]
+    fn ft2_counts() {
+        let m = CostModel::ft2_same_radix(4).unwrap();
+        assert_eq!(m.radix, 20);
+        assert_eq!(m.ports, 200);
+        assert_eq!(m.switches, 30);
+    }
+
+    #[test]
+    fn scaling_ratios_converge() {
+        let (s1, p1) = two_level_scaling_ratios(4);
+        let (s2, p2) = two_level_scaling_ratios(20);
+        // switches/N -> 2 from below; ports/N^{3/2} -> 1 from below.
+        assert!(s1 < 2.0 && s2 < 2.0 && s2 > s1 - 0.05);
+        assert!((0.5..=1.0).contains(&p1));
+        assert!(p2 > p1, "ports ratio approaches 1");
+        let (s3, p3) = three_level_scaling_ratios(10);
+        assert!((1.0..3.0).contains(&s3));
+        assert!((0.5..1.5).contains(&p3));
+    }
+
+    #[test]
+    fn nonblocking_pays_more_per_port() {
+        for n in 2..8usize {
+            let nb = CostModel::two_level_nonblocking(n);
+            let ft = CostModel::ft2_same_radix(n).unwrap();
+            assert!(nb.switches_per_port() > ft.switches_per_port(), "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # ftclos-analysis — closed-form bounds, cost models, and scaling fits
+//!
+//! The paper's quantitative statements as checkable functions:
+//!
+//! * [`formulas`] — Lemma 2 bounds, the `m >= n²` deterministic nonblocking
+//!   condition, Theorem 1's port cap, the `T(n) <= T(n - n^{1/(2(c+1))}) + 1`
+//!   recurrence of Theorem 5 (solved numerically), and the adaptive
+//!   `f(n) = O(n^{2 - 1/(2(c+1))})` top-switch budget.
+//! * [`cost`] — switch/cable/port accounting for the construction families,
+//!   and the `O(N^{3/2})`-ports-from-`O(N)`-switches scaling claims.
+//! * [`fit`] — log-log least-squares exponent estimation, used to confirm
+//!   measured adaptive top-switch consumption scales below `n²`
+//!   (experiment E9).
+//! * [`tables`] — plain-text table rendering for the experiment harnesses.
+
+pub mod cost;
+pub mod fit;
+pub mod formulas;
+pub mod tables;
+
+pub use fit::PowerFit;
+pub use tables::TextTable;

@@ -1,0 +1,53 @@
+//! Control-plane cost: time to route one full permutation under each
+//! routing discipline. Distributed schemes (Theorem 3, d-mod-k) are cheap
+//! per pair; NONBLOCKINGADAPTIVE pays the greedy partition search; the
+//! centralized edge-coloring pays the global Kempe-chain computation — the
+//! very "centralized controller" cost the paper's setting rules out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclos_routing::{
+    route_all, DModK, NonblockingAdaptive, PatternRouter, RearrangeableRouter, YuanDeterministic,
+};
+use ftclos_topo::Ftree;
+use ftclos_traffic::patterns;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_full_permutation");
+    for &n in &[2usize, 4, 6] {
+        let r = 2 * n + 1;
+        let ft = Ftree::new(n, n * n, r).unwrap();
+        let ports = (n * r) as u32;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let perm = patterns::random_full(ports, &mut rng);
+
+        let yuan = YuanDeterministic::new(&ft).unwrap();
+        group.bench_with_input(BenchmarkId::new("yuan", ports), &perm, |b, p| {
+            b.iter(|| black_box(route_all(&yuan, p).unwrap()))
+        });
+
+        let dmodk = DModK::new(&ft);
+        group.bench_with_input(BenchmarkId::new("dmodk", ports), &perm, |b, p| {
+            b.iter(|| black_box(route_all(&dmodk, p).unwrap()))
+        });
+
+        // Adaptive plan (logical only — what each input switch computes).
+        let big = Ftree::new(n, 4 * n * n, r).unwrap();
+        let adaptive = NonblockingAdaptive::new(&big).unwrap();
+        group.bench_with_input(BenchmarkId::new("adaptive_plan", ports), &perm, |b, p| {
+            b.iter(|| black_box(adaptive.plan(p).unwrap()))
+        });
+
+        // Centralized rearrangeable (needs m >= n only).
+        let benes = Ftree::new(n, n, r).unwrap();
+        let central = RearrangeableRouter::new(&benes).unwrap();
+        group.bench_with_input(BenchmarkId::new("edge_coloring", ports), &perm, |b, p| {
+            b.iter(|| black_box(central.route_pattern(p).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Topology construction cost: building fabrics and compiling forwarding
+//! tables (the "boot time" of a simulated cluster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclos_routing::{ForwardingTables, YuanDeterministic};
+use ftclos_topo::{kary_ntree, Ftree, RecursiveNonblocking};
+use std::hint::black_box;
+
+fn bench_topo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_topology");
+    for &n in &[4usize, 8, 16] {
+        let r = n + n * n;
+        group.bench_with_input(BenchmarkId::new("ftree_n_plus_n2", n * r), &n, |b, &n| {
+            b.iter(|| black_box(Ftree::new(n, n * n, n + n * n).unwrap()))
+        });
+    }
+    for &k in &[4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("kary_3tree", k * k * k), &k, |b, &k| {
+            b.iter(|| black_box(kary_ntree(k, 3).unwrap()))
+        });
+    }
+    for &n in &[2usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("recursive_3level", n.pow(4) + n.pow(3)),
+            &n,
+            |b, &n| b.iter(|| black_box(RecursiveNonblocking::new(n).unwrap())),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("compile_forwarding_tables");
+    for &(n, r) in &[(2usize, 5usize), (3, 7)] {
+        let ft = Ftree::new(n, n * n, r).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        group.bench_with_input(BenchmarkId::new("yuan", n * r), &router, |b, rt| {
+            b.iter(|| black_box(ForwardingTables::compile(rt, ft.topology()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topo);
+criterion_main!(benches);

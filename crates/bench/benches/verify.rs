@@ -1,0 +1,51 @@
+//! Verification cost: the complete Lemma 1 audit (all r(r-1)n² pairs) and
+//! the complete two-pair blocking search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclos_core::search::find_blocking_two_pair;
+use ftclos_core::verify::{is_nonblocking_deterministic, LinkAudit};
+use ftclos_routing::{DModK, YuanDeterministic};
+use ftclos_topo::Ftree;
+use std::hint::black_box;
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma1_audit");
+    for &(n, r) in &[(2usize, 5usize), (3, 7), (4, 9)] {
+        let ft = Ftree::new(n, n * n, r).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let ports = n * r;
+        group.bench_with_input(BenchmarkId::new("audit_build", ports), &router, |b, rt| {
+            b.iter(|| black_box(LinkAudit::build(rt)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("full_nonblocking_check", ports),
+            &router,
+            |b, rt| b.iter(|| black_box(is_nonblocking_deterministic(rt))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("two_pair_search");
+    for &(n, r) in &[(2usize, 5usize), (3, 7)] {
+        // A blocking router: search succeeds early.
+        let ft = Ftree::new(n, n, r).unwrap();
+        let dmodk = DModK::new(&ft);
+        group.bench_with_input(
+            BenchmarkId::new("finds_witness", n * r),
+            &dmodk,
+            |b, rt| b.iter(|| black_box(find_blocking_two_pair(rt))),
+        );
+        // A nonblocking router: search must scan everything.
+        let ft_nb = Ftree::new(n, n * n, r).unwrap();
+        let yuan = YuanDeterministic::new(&ft_nb).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("exhausts_clean", n * r),
+            &yuan,
+            |b, rt| b.iter(|| black_box(find_blocking_two_pair(rt))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! E12 — blocking probability vs `m`: the curve that the nonblocking
+//! condition drives to zero.
+//!
+//! For `ftree(n+m, r)` with `n = 3, r = 7`, sweep `m` from 1 to `n² = 9`
+//! and estimate the fraction of random full permutations that contend under
+//! (a) d-mod-k deterministic, (b) greedy local adaptive, and
+//! (c) NONBLOCKINGADAPTIVE. Deterministic routing needs `m = n²` to reach
+//! zero; the adaptive algorithm reaches zero as soon as its plan fits.
+
+use ftclos_analysis::TextTable;
+use ftclos_bench::{banner, result_line, verdict, SEED};
+use ftclos_core::search::blocking_report;
+use ftclos_routing::{DModK, GreedyLocalAdaptive, NonblockingAdaptive};
+use ftclos_topo::Ftree;
+
+fn main() {
+    let mut all_ok = true;
+    let (n, r) = (3usize, 7usize);
+    let samples = 300usize;
+
+    banner(
+        "E12",
+        "blocking fraction over random permutations vs m (n=3, r=7, 300 samples)",
+    );
+    let mut table = TextTable::new(["m", "d-mod-k", "greedy adaptive", "nonblocking adaptive"]);
+    let mut dmodk_at_n2 = 1.0f64;
+    let mut greedy_zero_m = None::<usize>;
+    let mut adaptive_zero_m = None::<usize>;
+    let mut prev_dmodk = 1.1f64;
+    let mut dmodk_monotone_ish = true;
+    for m in 1..=n * n {
+        let ft = Ftree::new(n, m, r).unwrap();
+        let dmodk = DModK::new(&ft);
+        let greedy = GreedyLocalAdaptive::new(&ft);
+        let adaptive = NonblockingAdaptive::new(&ft).unwrap();
+        let f_d = blocking_report(&dmodk, samples, SEED).blocking_fraction();
+        let f_g = blocking_report(&greedy, samples, SEED).blocking_fraction();
+        // NONBLOCKINGADAPTIVE refuses when its plan needs > m tops; count
+        // refusals as blocking (the fabric is too small for the algorithm).
+        let f_a = blocking_report(&adaptive, samples, SEED).blocking_fraction();
+        table.row([
+            m.to_string(),
+            format!("{f_d:.3}"),
+            format!("{f_g:.3}"),
+            format!("{f_a:.3}"),
+        ]);
+        if m == n * n {
+            dmodk_at_n2 = f_d;
+        }
+        if f_g == 0.0 && greedy_zero_m.is_none() {
+            greedy_zero_m = Some(m);
+        }
+        if f_a == 0.0 && adaptive_zero_m.is_none() {
+            adaptive_zero_m = Some(m);
+        }
+        if f_d > prev_dmodk + 0.1 {
+            dmodk_monotone_ish = false;
+        }
+        prev_dmodk = f_d;
+    }
+    print!("{}", table.render());
+
+    all_ok &= verdict(
+        dmodk_at_n2 > 0.0,
+        "d-mod-k still blocks at m = n² (count alone is not enough)",
+    );
+    all_ok &= verdict(dmodk_monotone_ish, "d-mod-k blocking shrinks (roughly) as m grows");
+    result_line(
+        "greedy first zero-blocking m",
+        greedy_zero_m.map_or("never".into(), |m| m.to_string()),
+    );
+    result_line(
+        "nonblocking-adaptive first zero-blocking m",
+        adaptive_zero_m.map_or("never (plan needs more tops)".into(), |m| m.to_string()),
+    );
+
+    banner(
+        "E12b",
+        "blocking fraction vs load density (m = 4 < n², 200 samples/point)",
+    );
+    let ft_small = Ftree::new(n, 4, r).unwrap();
+    let dmodk_small = DModK::new(&ft_small);
+    let ft_nb = Ftree::new(n, n * n, r).unwrap();
+    let yuan_nb = ftclos_routing::YuanDeterministic::new(&ft_nb).unwrap();
+    let densities = [0.1, 0.25, 0.5, 0.75, 1.0];
+    let curve_d = ftclos_core::search::blocking_vs_density(&dmodk_small, &densities, 200, SEED);
+    let curve_y = ftclos_core::search::blocking_vs_density(&yuan_nb, &densities, 200, SEED);
+    let mut dtable = TextTable::new(["density", "d-mod-k (m=4)", "Theorem 3 (m=n²)"]);
+    for ((d, fd), (_, fy)) in curve_d.iter().zip(&curve_y) {
+        dtable.row([format!("{d:.2}"), format!("{fd:.3}"), format!("{fy:.3}")]);
+    }
+    print!("{}", dtable.render());
+    all_ok &= verdict(
+        curve_d.last().unwrap().1 > curve_d.first().unwrap().1,
+        "blocking grows with load for the undersized fabric",
+    );
+    all_ok &= verdict(
+        curve_y.iter().all(|&(_, f)| f == 0.0),
+        "the nonblocking fabric is flat at zero across all densities",
+    );
+
+    // The Theorem 3 reference: zero blocking at m = n² with the right
+    // deterministic routing.
+    let ft = Ftree::new(n, n * n, r).unwrap();
+    let yuan = ftclos_routing::YuanDeterministic::new(&ft).unwrap();
+    let f_yuan = blocking_report(&yuan, samples, SEED).blocking_fraction();
+    result_line("Theorem 3 routing at m = n²", format!("{f_yuan:.3}"));
+    all_ok &= verdict(f_yuan == 0.0, "Theorem 3 routing never blocks at m = n²");
+
+    result_line("overall", if all_ok { "PASS" } else { "FAIL" });
+    std::process::exit(i32::from(!all_ok));
+}

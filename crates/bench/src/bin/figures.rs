@@ -1,0 +1,73 @@
+//! E2 / E3 — Reproduce Fig. 1 (Clos and folded-Clos structure) and Fig. 2
+//! (the `ftree(n+1, r)` subgraph) as DOT artifacts plus structural checks.
+
+use ftclos_bench::{banner, result_line, verdict};
+use ftclos_topo::dot::{to_dot, DotOptions};
+use ftclos_topo::{Clos, Ftree, StructureReport};
+
+fn main() {
+    let mut all_ok = true;
+
+    banner("E2", "Fig. 1 — Clos(n,m,r) and ftree(n+m,r), logical equivalence");
+    // The paper's example shapes: Clos(n, m, r) and its folded version.
+    let (n, m, r) = (2usize, 3usize, 4usize);
+    let clos = Clos::new(n, m, r).unwrap();
+    let ftree = Ftree::new(n, m, r).unwrap();
+    all_ok &= verdict(clos.folds_to(&ftree), "Clos(2,3,4) folds to ftree(2+3,4)");
+
+    let rep = StructureReport::new(ftree.topology());
+    result_line("ftree leaves", rep.leaves);
+    result_line("ftree bottoms", rep.switches_per_level[&1]);
+    result_line("ftree tops", rep.switches_per_level[&2]);
+    result_line("ftree cables", rep.cables);
+    all_ok &= verdict(
+        rep.leaves == r * n && rep.switches_per_level[&1] == r && rep.switches_per_level[&2] == m,
+        "ftree(n+m,r) has r·n leaves, r bottoms, m tops",
+    );
+
+    let out_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out_dir).expect("create target/figures");
+    let fig1a = to_dot(
+        clos.topology(),
+        &DotOptions {
+            name: "clos_2_3_4".into(),
+            merge_bidir: false,
+            rank_by_level: true,
+        },
+    );
+    let fig1b = to_dot(
+        ftree.topology(),
+        &DotOptions {
+            name: "ftree_2p3_4".into(),
+            ..DotOptions::default()
+        },
+    );
+    std::fs::write(out_dir.join("fig1a_clos.dot"), &fig1a).unwrap();
+    std::fs::write(out_dir.join("fig1b_ftree.dot"), &fig1b).unwrap();
+    result_line("artifacts", "target/figures/fig1a_clos.dot, fig1b_ftree.dot");
+
+    banner("E3", "Fig. 2 — the ftree(n+1, r) subgraph used by Lemma 2");
+    let sub = Ftree::lemma2_subgraph(2, 5).unwrap();
+    let rep = StructureReport::new(sub.topology());
+    result_line("subgraph tops", rep.switches_per_level[&2]);
+    all_ok &= verdict(
+        rep.switches_per_level[&2] == 1,
+        "subgraph keeps a single top-level switch (the root)",
+    );
+    all_ok &= verdict(
+        sub.topology().out_channels(sub.top(0)).len() == 5,
+        "root has r = 5 children",
+    );
+    let fig2 = to_dot(
+        sub.topology(),
+        &DotOptions {
+            name: "ftree_np1_r".into(),
+            ..DotOptions::default()
+        },
+    );
+    std::fs::write(out_dir.join("fig2_subgraph.dot"), &fig2).unwrap();
+    result_line("artifact", "target/figures/fig2_subgraph.dot");
+
+    result_line("overall", if all_ok { "PASS" } else { "FAIL" });
+    std::process::exit(i32::from(!all_ok));
+}

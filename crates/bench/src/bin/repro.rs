@@ -1,0 +1,61 @@
+//! Run every experiment binary in order and summarize PASS/FAIL.
+//!
+//! ```text
+//! cargo run --release -p ftclos-bench --bin repro
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "E1  Table I"),
+    ("figures", "E2/E3  Figs. 1-2"),
+    ("thm3", "E4  Theorem 3 / Fig. 3"),
+    ("lemma2", "E5  Lemma 2"),
+    ("thm2", "E6  Theorems 1-2"),
+    ("multipath", "E7  Section IV.B"),
+    ("adaptive", "E8/E9/E13  Fig. 4, Theorems 4-5, Lemma 6"),
+    ("recursive", "E10  3-level recursion"),
+    ("throughput", "E11  packet-level throughput"),
+    ("blocking", "E12  blocking probability"),
+    ("cost", "E14  cost scaling"),
+    ("kary", "E15  multi-level fat-trees (extension)"),
+    ("classical", "E16  classical centralized Clos hierarchy (context)"),
+    ("simval", "V1  simulator validation (HOL vs iSLIP)"),
+    ("ablation", "A1-A3  design-choice ablations"),
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for (bin, label) in EXPERIMENTS {
+        println!("\n################ {label} ({bin}) ################");
+        let path = bin_dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo run (slower, but works from any cwd).
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "ftclos-bench", "--bin", bin])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                failures.push(*bin);
+            }
+        }
+    }
+    println!("\n################ SUMMARY ################");
+    if failures.is_empty() {
+        println!("all {} experiments PASS", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,85 @@
+//! E6 — Theorem 2 tightness: `m >= n²` is necessary and sufficient.
+//!
+//! *Sufficiency* is E4 (Theorem 3 routing at `m = n²`). Here we demonstrate
+//! *necessity* empirically: for every `m < n²`, each deterministic routing
+//! we implement admits a blocking permutation — found by the **complete**
+//! two-pair search, so "no witness" would actually disprove blocking. We
+//! also show the witness found is a real two-pair permutation that
+//! contends, and that `m = n²` with the *wrong* routing (d-mod-k) still
+//! blocks: the condition is about count *and* assignment.
+
+use ftclos_analysis::TextTable;
+use ftclos_bench::{banner, result_line, verdict};
+use ftclos_core::search::find_blocking_two_pair;
+use ftclos_core::verify::is_nonblocking_deterministic;
+use ftclos_routing::{route_all, DModK, SModK, YuanDeterministic};
+use ftclos_topo::Ftree;
+
+fn main() {
+    let mut all_ok = true;
+
+    banner("E6", "Theorem 2 — every deterministic routing with m < n² blocks");
+    let mut table = TextTable::new(["n", "r", "m", "router", "blocking witness"]);
+    for (n, r) in [(2usize, 5usize), (3, 7), (2, 8)] {
+        let n2 = n * n;
+        for m in 1..n2 {
+            let ft = Ftree::new(n, m, r).unwrap();
+            for (name, witness) in [
+                ("d-mod-k", find_blocking_two_pair(&DModK::new(&ft))),
+                ("s-mod-k", find_blocking_two_pair(&SModK::new(&ft))),
+            ] {
+                let found = witness.is_some();
+                if let Some(perm) = &witness {
+                    let pairs = perm.pairs();
+                    table.row([
+                        n.to_string(),
+                        r.to_string(),
+                        m.to_string(),
+                        name.to_string(),
+                        format!("{} & {}", pairs[0], pairs[1]),
+                    ]);
+                }
+                all_ok &= verdict(
+                    found,
+                    &format!("n={n} r={r} m={m} {name}: blocking permutation exists"),
+                );
+                // Double-check the witness really contends.
+                if let Some(perm) = witness {
+                    let load = match name {
+                        "d-mod-k" => route_all(&DModK::new(&ft), &perm).unwrap().max_channel_load(),
+                        _ => route_all(&SModK::new(&ft), &perm).unwrap().max_channel_load(),
+                    };
+                    all_ok &= verdict(load >= 2, &format!("n={n} r={r} m={m} {name}: witness contends"));
+                }
+            }
+        }
+        // At m = n² the right routing passes, the wrong one still fails.
+        let ft = Ftree::new(n, n2, r).unwrap();
+        all_ok &= verdict(
+            is_nonblocking_deterministic(&YuanDeterministic::new(&ft).unwrap()),
+            &format!("n={n} r={r} m=n²: Theorem 3 routing is nonblocking"),
+        );
+        all_ok &= verdict(
+            find_blocking_two_pair(&DModK::new(&ft)).is_some(),
+            &format!("n={n} r={r} m=n²: d-mod-k STILL blocks (assignment matters)"),
+        );
+    }
+    print!("{}", table.render());
+
+    banner("E6b", "Theorem 1 — small-top regime caps ports at 2(n+m)");
+    // In the r <= 2n+1 regime the Lemma-2 counting forces m >= (r-1)n/2,
+    // hence ports = rn <= 2(n+m): verify the arithmetic over a sweep.
+    for n in 1..8usize {
+        for r in 2..=(2 * n + 1) {
+            let m_min = ((r - 1) * n).div_ceil(2);
+            let ports = r * n;
+            all_ok &= verdict(
+                ports <= 2 * (n + m_min),
+                &format!("n={n} r={r}: rn={ports} <= 2(n+m_min)={}", 2 * (n + m_min)),
+            );
+        }
+    }
+
+    result_line("overall", if all_ok { "PASS" } else { "FAIL" });
+    std::process::exit(i32::from(!all_ok));
+}

@@ -1,0 +1,113 @@
+//! E4 — Theorem 3 / Fig. 3: the explicit single-path deterministic routing
+//! makes `ftree(n+n², r)` nonblocking.
+//!
+//! Three layers of evidence, strongest first:
+//! 1. the complete Lemma 1 link audit over all `r(r-1)n²` SD pairs,
+//! 2. exhaustive permutation sweeps on tiny fabrics,
+//! 3. randomized + structured permutation sweeps on larger fabrics,
+//!
+//! plus the Fig. 3 census: each uplink/downlink of top switch `(i,j)`
+//! carries exactly `r-1` SD pairs with one source (up) or one destination
+//! (down).
+
+use ftclos_analysis::TextTable;
+use ftclos_bench::{banner, result_line, verdict, SEED};
+use ftclos_core::search::{find_blocking_exhaustive, find_blocking_two_pair};
+use ftclos_core::verify::{is_nonblocking_deterministic, updown_discipline, LinkAudit};
+use ftclos_routing::{route_all, SinglePathRouter, YuanDeterministic};
+use ftclos_topo::Ftree;
+use ftclos_traffic::patterns;
+use rand::SeedableRng;
+
+fn main() {
+    let mut all_ok = true;
+
+    banner("E4a", "Fig. 3 — SD pairs on the links of top switch (i,j)");
+    let ft = Ftree::new(3, 9, 7).unwrap();
+    let router = YuanDeterministic::new(&ft).unwrap();
+    let audit = LinkAudit::build(&router);
+    let mut table = TextTable::new(["link", "#SD pairs", "#sources", "#dests"]);
+    // Sample top (1, 2) and bottom 0, as in Fig. 3's generic (i,j), v.
+    let up = ft.up_channel(0, ft.top_index(ft.top_ij(1, 2)).unwrap());
+    let down = ft.down_channel(ft.top_index(ft.top_ij(1, 2)).unwrap(), 0);
+    let (us, ud) = audit.channel_census(up).unwrap();
+    let (ds, dd) = audit.channel_census(down).unwrap();
+    table.row([
+        "bottom 0 -> top (1,2)".to_string(),
+        (us.len().max(ud.len())).to_string(),
+        us.len().to_string(),
+        ud.len().to_string(),
+    ]);
+    table.row([
+        "top (1,2) -> bottom 0".to_string(),
+        (ds.len().max(dd.len())).to_string(),
+        ds.len().to_string(),
+        dd.len().to_string(),
+    ]);
+    print!("{}", table.render());
+    all_ok &= verdict(
+        us.len() == 1 && ud.len() == ft.r() - 1,
+        "uplink: one source, r-1 destinations",
+    );
+    all_ok &= verdict(
+        dd.len() == 1 && ds.len() == ft.r() - 1,
+        "downlink: one destination, r-1 sources",
+    );
+    all_ok &= verdict(
+        updown_discipline(&router, ft.topology()).is_ok(),
+        "every uplink single-source, every downlink single-destination",
+    );
+
+    banner("E4b", "Lemma 1 audit (complete) across fabric sizes");
+    for (n, r) in [(2usize, 5usize), (2, 8), (3, 7), (3, 12), (4, 9), (4, 20)] {
+        let ft = Ftree::new(n, n * n, r).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let ok = is_nonblocking_deterministic(&router);
+        all_ok &= verdict(
+            ok,
+            &format!("ftree({n}+{}, {r}): Lemma 1 audit passes (nonblocking)", n * n),
+        );
+        all_ok &= verdict(
+            find_blocking_two_pair(&router).is_none(),
+            &format!("ftree({n}+{}, {r}): no blocking two-pair pattern exists", n * n),
+        );
+    }
+
+    banner("E4c", "exhaustive permutation sweep on a tiny fabric");
+    let tiny = Ftree::new(2, 4, 3).unwrap();
+    let tiny_router = YuanDeterministic::new(&tiny).unwrap();
+    let blocked = find_blocking_exhaustive(&tiny_router);
+    result_line("permutations checked", "6! = 720");
+    all_ok &= verdict(blocked.is_none(), "all 720 permutations of ftree(2+4,3) contention-free");
+
+    banner("E4d", "randomized + structured sweeps on ftree(4+16, 12)");
+    let big = Ftree::new(4, 16, 12).unwrap();
+    let big_router = YuanDeterministic::new(&big).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED);
+    let mut max_load = 0u32;
+    let trials = 500usize;
+    for _ in 0..trials {
+        let perm = patterns::random_full(big.num_leaves() as u32, &mut rng);
+        let a = route_all(&big_router, &perm).unwrap();
+        max_load = max_load.max(a.max_channel_load());
+    }
+    result_line("random permutations", trials);
+    result_line("max channel load observed", max_load);
+    all_ok &= verdict(max_load <= 1, "500 random permutations: zero contention");
+    for pat in patterns::StructuredPattern::ALL {
+        if let Some(perm) = pat.generate(big.num_leaves() as u32) {
+            let a = route_all(&big_router, &perm).unwrap();
+            all_ok &= verdict(
+                a.max_channel_load() <= 1,
+                &format!("{pat:?} pattern contention-free"),
+            );
+        }
+    }
+
+    // Path-shape sanity: 4 hops cross-switch, 2 same-switch.
+    let p = big_router.route(ftclos_traffic::SdPair::new(0, 47));
+    all_ok &= verdict(p.len() == 4, "cross-switch paths have 4 hops");
+
+    result_line("overall", if all_ok { "PASS" } else { "FAIL" });
+    std::process::exit(i32::from(!all_ok));
+}

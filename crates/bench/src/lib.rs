@@ -1,0 +1,57 @@
+//! # ftclos-bench — experiment harnesses
+//!
+//! One binary per experiment (see `DESIGN.md` for the experiment index) plus
+//! a `repro` driver that runs everything. Criterion benches measure the
+//! systems costs: routing computation time, verification time, and
+//! simulator speed.
+//!
+//! Binaries:
+//!
+//! | binary | experiments |
+//! |---|---|
+//! | `table1` | E1 — Table I regeneration |
+//! | `figures` | E2, E3 — Fig. 1 / Fig. 2 as DOT artifacts and structure checks |
+//! | `thm3` | E4 — Theorem 3 / Fig. 3 verification sweeps |
+//! | `lemma2` | E5 — Lemma 2 exact max vs bound |
+//! | `thm2` | E6 — Theorem 2 tightness (blocking witnesses when `m < n²`) |
+//! | `multipath` | E7 — Section IV.B oblivious multipath |
+//! | `adaptive` | E8, E9, E13 — NONBLOCKINGADAPTIVE verification and scaling |
+//! | `recursive` | E10 — three-level recursion |
+//! | `throughput` | E11 — packet-level throughput vs crossbar |
+//! | `blocking` | E12 — blocking probability vs `m` |
+//! | `cost` | E14 — cost scaling ratios |
+//! | `repro` | all of the above, in order |
+
+use std::io::Write as _;
+
+/// Print an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title} ===");
+}
+
+/// Print a `key: value` result line in a stable, grep-friendly format.
+pub fn result_line(key: &str, value: impl std::fmt::Display) {
+    println!("  {key} = {value}");
+}
+
+/// Print a PASS/FAIL verdict line; returns `ok` so callers can aggregate.
+pub fn verdict(ok: bool, claim: &str) -> bool {
+    println!("  [{}] {claim}", if ok { "PASS" } else { "FAIL" });
+    let _ = std::io::stdout().flush();
+    ok
+}
+
+/// Standard seeds used across harnesses so every binary is reproducible.
+pub const SEED: u64 = 0x5EED_F01D;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_passthrough() {
+        assert!(verdict(true, "claim"));
+        assert!(!verdict(false, "claim"));
+    }
+}

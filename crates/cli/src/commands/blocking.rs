@@ -1,0 +1,79 @@
+//! `ftclos blocking <n> <m> <r> [--router R] [--samples N] [--seed S]` —
+//! estimate the blocking probability over random permutations.
+
+use super::common::{build_ftree, route_named, ROUTERS};
+use crate::opts::{CliError, Opts};
+use ftclos_traffic::patterns;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Run the command.
+pub fn run(opts: &Opts) -> Result<String, CliError> {
+    let ft = build_ftree(opts)?;
+    let router = opts.flag("router").unwrap_or("dmodk");
+    if !ROUTERS.contains(&router) {
+        return Err(CliError::Usage(format!(
+            "unknown router `{router}` (one of {ROUTERS:?})"
+        )));
+    }
+    let samples: usize = opts.flag_or("samples", 200)?;
+    let seed: u64 = opts.flag_or("seed", 0)?;
+    let ports = ft.num_leaves() as u32;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut blocked = 0usize;
+    let mut max_load_seen = 0u32;
+    for _ in 0..samples {
+        let perm = patterns::random_full(ports, &mut rng);
+        match route_named(&ft, router, &perm) {
+            Ok(a) => {
+                let load = a.max_channel_load();
+                max_load_seen = max_load_seen.max(load);
+                if load > 1 {
+                    blocked += 1;
+                }
+            }
+            Err(_) => blocked += 1, // fabric too small for the scheme
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ftree({}+{}, {}) under `{router}`: {samples} random permutations",
+        ft.n(),
+        ft.m(),
+        ft.r()
+    );
+    let _ = writeln!(
+        out,
+        "  blocking fraction = {:.3} ({blocked}/{samples} blocked, worst link load {max_load_seen})",
+        blocked as f64 / samples.max(1) as f64
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Opts {
+        Opts::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn dmodk_blocks_sometimes() {
+        let out = run(&argv("2 2 5 --samples 60")).unwrap();
+        assert!(out.contains("blocking fraction"));
+        assert!(!out.contains("= 0.000"));
+    }
+
+    #[test]
+    fn yuan_never_blocks() {
+        let out = run(&argv("2 4 5 --router yuan --samples 60")).unwrap();
+        assert!(out.contains("= 0.000"));
+    }
+
+    #[test]
+    fn unknown_router() {
+        assert!(run(&argv("2 4 5 --router warp")).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! `ftclos design <radix>` — what can you build from one switch size?
+
+use crate::opts::{CliError, Opts};
+use ftclos_analysis::TextTable;
+use ftclos_core::design;
+
+/// Run the command.
+pub fn run(opts: &Opts) -> Result<String, CliError> {
+    let radix = opts.pos_usize(0, "radix")?;
+    let mut table = TextTable::new(["design", "ports", "switches", "sw/port", "guarantee"]);
+    if let Some(d) = design::nonblocking_two_level(radix) {
+        table.row([
+            format!("nonblocking 2-level (n={})", d.n),
+            d.ports.to_string(),
+            d.switches.to_string(),
+            format!("{:.3}", d.switches_per_port()),
+            "any permutation, zero contention".into(),
+        ]);
+    }
+    if let Some(d) = design::nonblocking_three_level(radix) {
+        table.row([
+            format!("nonblocking 3-level (n={})", d.n),
+            d.ports.to_string(),
+            d.switches.to_string(),
+            format!("{:.3}", d.switches_per_port()),
+            "any permutation, zero contention".into(),
+        ]);
+    }
+    if let Some(d) = design::mport_two_tree(radix) {
+        table.row([
+            format!("FT({radix},2) 2-tree"),
+            d.ports.to_string(),
+            d.switches.to_string(),
+            format!("{:.3}", d.switches_per_port()),
+            "rearrangeable only".into(),
+        ]);
+    }
+    if table.is_empty() {
+        return Err(CliError::Failed(format!(
+            "radix {radix} is too small for any construction"
+        )));
+    }
+    Ok(format!("designs from {radix}-port switches:\n{}", table.render()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designs_for_20_port() {
+        let opts = Opts::parse(&["20".to_string()]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("80"));
+        assert!(out.contains("200"));
+        assert!(out.contains("3-level"));
+    }
+
+    #[test]
+    fn radix_too_small() {
+        let opts = Opts::parse(&["1".to_string()]).unwrap();
+        assert!(run(&opts).is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! Command implementations. Each command is `run(&Opts) -> Result<String>`.
+
+pub mod blocking;
+pub mod build;
+pub mod common;
+pub mod design;
+pub mod route;
+pub mod simulate;
+pub mod table1;
+pub mod verify;

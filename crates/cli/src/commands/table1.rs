@@ -1,0 +1,43 @@
+//! `ftclos table1` — regenerate the paper's Table I.
+
+use crate::opts::{CliError, Opts};
+use ftclos_analysis::TextTable;
+use ftclos_core::design;
+
+/// Run the command.
+pub fn run(_opts: &Opts) -> Result<String, CliError> {
+    let rows = design::table_one(&[20, 30, 42]);
+    let mut table = TextTable::new([
+        "radix",
+        "NB switches",
+        "NB ports",
+        "FT(N,2) switches",
+        "FT(N,2) ports",
+    ]);
+    for r in &rows {
+        table.row([
+            r.radix.to_string(),
+            r.nonblocking.switches.to_string(),
+            r.nonblocking.ports.to_string(),
+            r.rearrangeable.switches.to_string(),
+            r.rearrangeable.ports.to_string(),
+        ]);
+    }
+    Ok(format!(
+        "Table I — nonblocking ftree(n+n², n+n²) vs FT(N, 2):\n{}",
+        table.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_present() {
+        let out = run(&Opts::default()).unwrap();
+        for v in ["20", "30", "42", "80", "150", "252"] {
+            assert!(out.contains(v), "missing {v} in {out}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! `ftclos verify <n> <m> <r> [--router R]` — complete Lemma 1 audit.
+
+use super::common::build_ftree;
+use crate::opts::{CliError, Opts};
+use ftclos_core::verify::LinkAudit;
+use ftclos_routing::{DModK, SModK, SinglePathRouter, YuanDeterministic};
+use std::fmt::Write as _;
+
+fn audit_router<R: SinglePathRouter>(router: &R) -> String {
+    let audit = LinkAudit::build(router);
+    let mut out = String::new();
+    match audit.lemma1_check(router) {
+        Ok(()) => {
+            let _ = writeln!(
+                out,
+                "NONBLOCKING: every link carries one source or one destination \
+                 across all SD pairs (Lemma 1)"
+            );
+        }
+        Err(v) => {
+            let _ = writeln!(out, "BLOCKING: link {} carries multiple sources AND destinations", v.channel);
+            let _ = writeln!(
+                out,
+                "  witness permutation: ({} -> {}) and ({} -> {}) contend",
+                v.sources[0], v.destinations[0], v.sources[1], v.destinations[1]
+            );
+        }
+    }
+    out
+}
+
+/// Run the command.
+pub fn run(opts: &Opts) -> Result<String, CliError> {
+    let ft = build_ftree(opts)?;
+    let name = opts.flag("router").unwrap_or("yuan");
+    let body = match name {
+        "yuan" => {
+            let router = YuanDeterministic::new(&ft)
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            audit_router(&router)
+        }
+        "dmodk" => audit_router(&DModK::new(&ft)),
+        "smodk" => audit_router(&SModK::new(&ft)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "verify supports deterministic routers only (yuan|dmodk|smodk), got `{other}`"
+            )))
+        }
+    };
+    Ok(format!(
+        "audit of ftree({}+{}, {}) under `{name}` routing:\n{body}",
+        ft.n(),
+        ft.m(),
+        ft.r()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Opts {
+        Opts::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn yuan_passes() {
+        assert!(run(&argv("2 4 5")).unwrap().contains("NONBLOCKING"));
+    }
+
+    #[test]
+    fn dmodk_blocks_with_witness() {
+        let out = run(&argv("2 2 5 --router dmodk")).unwrap();
+        assert!(out.contains("BLOCKING"));
+        assert!(out.contains("witness permutation"));
+    }
+
+    #[test]
+    fn yuan_rejects_small_m() {
+        assert!(run(&argv("2 3 5")).is_err());
+    }
+
+    #[test]
+    fn adaptive_not_supported_here() {
+        assert!(run(&argv("2 4 5 --router adaptive")).is_err());
+    }
+}

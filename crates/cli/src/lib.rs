@@ -1,0 +1,113 @@
+//! # ftclos-cli — command-line interface to the ftclos library
+//!
+//! ```text
+//! ftclos design <radix>                      largest fabrics buildable from a switch radix
+//! ftclos table1                              regenerate the paper's Table I
+//! ftclos build  <n> <m> <r> [--dot FILE]     build ftree(n+m, r), print its census
+//! ftclos verify <n> <m> <r> [--router R]     complete Lemma 1 nonblocking audit
+//! ftclos route  <n> <m> <r> [--router R] [--pattern P] [--seed S]
+//! ftclos simulate <n> <m> <r> [--router R] [--pattern P] [--rate F]
+//!                 [--cycles N] [--arbiter hol|islip:K] [--seed S]
+//! ftclos blocking <n> <m> <r> [--router R] [--samples N] [--seed S]
+//! ```
+//!
+//! Routers: `yuan` (Theorem 3, needs `m >= n²`), `dmodk`, `smodk`,
+//! `adaptive` (NONBLOCKINGADAPTIVE), `greedy`, `rearrangeable`
+//! (centralized edge coloring, needs `m >= n`).
+//! Patterns: `shift:<k>`, `random`, `transpose`, `bitrev`, `neighbor`,
+//! `tornado`, `identity`.
+//!
+//! Every command is a pure function from arguments to output text, so the
+//! whole surface is unit-testable.
+
+pub mod commands;
+pub mod opts;
+
+pub use opts::{CliError, Opts};
+
+/// Dispatch a full argument vector (excluding `argv[0]`) to a command.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage(USAGE.to_string()));
+    };
+    let opts = Opts::parse(rest)?;
+    match cmd.as_str() {
+        "design" => commands::design::run(&opts),
+        "table1" => commands::table1::run(&opts),
+        "build" => commands::build::run(&opts),
+        "verify" => commands::verify::run(&opts),
+        "route" => commands::route::run(&opts),
+        "simulate" => commands::simulate::run(&opts),
+        "blocking" => commands::blocking::run(&opts),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ftclos — nonblocking folded-Clos networks (Yuan, IPDPS 2011)
+
+USAGE:
+  ftclos design <radix>
+  ftclos table1
+  ftclos build  <n> <m> <r> [--dot FILE]
+  ftclos verify <n> <m> <r> [--router yuan|dmodk|smodk]
+  ftclos route  <n> <m> <r> [--router R] [--pattern P] [--seed S]
+  ftclos simulate <n> <m> <r> [--router R] [--pattern P] [--rate F]
+                  [--cycles N] [--arbiter hol|islip:K] [--seed S]
+  ftclos blocking <n> <m> <r> [--router R] [--samples N] [--seed S]
+
+PATTERNS: shift:<k> random transpose bitrev neighbor tornado identity
+ROUTERS:  yuan dmodk smodk adaptive greedy rearrangeable";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&argv("help")).unwrap().contains("USAGE"));
+        assert!(matches!(run(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn end_to_end_design() {
+        let out = run(&argv("design 20")).unwrap();
+        assert!(out.contains("80"), "20-port design yields 80 ports: {out}");
+    }
+
+    #[test]
+    fn end_to_end_verify() {
+        let out = run(&argv("verify 2 4 5")).unwrap();
+        assert!(out.contains("NONBLOCKING"), "{out}");
+        let out = run(&argv("verify 2 2 5 --router dmodk")).unwrap();
+        assert!(out.contains("BLOCKING"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_route_and_simulate() {
+        let out = run(&argv("route 2 4 5 --pattern shift:3")).unwrap();
+        assert!(out.contains("max channel load = 1"), "{out}");
+        let out = run(&argv(
+            "simulate 2 4 5 --pattern shift:3 --rate 0.8 --cycles 500",
+        ))
+        .unwrap();
+        assert!(out.contains("accepted throughput"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_blocking_and_table1() {
+        let out = run(&argv("blocking 2 2 5 --router dmodk --samples 50")).unwrap();
+        assert!(out.contains("blocking fraction"), "{out}");
+        let out = run(&argv("table1")).unwrap();
+        assert!(out.contains("42"), "{out}");
+    }
+}

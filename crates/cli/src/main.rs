@@ -1,0 +1,22 @@
+//! The `ftclos` command-line binary. All logic lives in the library so it
+//! can be tested; this shim only handles process I/O and exit codes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ftclos_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+        }
+        Err(ftclos_cli::CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(ftclos_cli::CliError::Failed(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

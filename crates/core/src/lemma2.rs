@@ -1,0 +1,340 @@
+//! Lemma 2: how many SD pairs can one top-level switch route?
+//!
+//! Setting: the `ftree(n+1, r)` subgraph (paper Fig. 2) — all `r` bottom
+//! switches under a single root. A set `S` of distinct cross-switch SD pairs
+//! is *routable through the root* if every uplink `v → root` and every
+//! downlink `root → w` carries pairs that share one source or share one
+//! destination.
+//!
+//! The paper proves `|S| <= r(r-1)` when `r >= 2n+1` and `|S| <= 2nr` when
+//! `r <= 2n+1`. This module provides the bound, the explicit type-(3)
+//! construction reaching `r(r-1)`, a routability checker, a greedy
+//! maximizer, and an exact solver (mode enumeration) for small shapes so
+//! the bound can be validated empirically (experiment E5).
+
+use ftclos_traffic::SdPair;
+
+/// The Lemma 2 upper bound for the number of SD pairs routable through one
+/// top-level switch of `ftree(n+m, r)`.
+pub fn lemma2_bound(n: usize, r: usize) -> usize {
+    if r > 2 * n {
+        r * (r - 1)
+    } else {
+        2 * n * r
+    }
+}
+
+/// The type-(3) construction: one source and one destination per switch —
+/// pairs `(v, 0) → (w, 0)` for all `v != w`. Exactly `r(r-1)` pairs, always
+/// routable (each uplink has one source, each downlink one destination).
+pub fn type3_construction(n: usize, r: usize) -> Vec<SdPair> {
+    let mut out = Vec::with_capacity(r * (r - 1));
+    for v in 0..r {
+        for w in 0..r {
+            if v != w {
+                out.push(SdPair::new((v * n) as u32, (w * n) as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Is `pairs` routable through a single root per the Lemma 2 link rules?
+/// Pairs must be distinct and cross-switch; returns `false` otherwise.
+pub fn is_routable_through_root(n: usize, r: usize, pairs: &[SdPair]) -> bool {
+    let mut seen = std::collections::HashSet::with_capacity(pairs.len());
+    // Per source switch: distinct sources/destinations on the uplink;
+    // per destination switch: the same for the downlink.
+    let mut up: Vec<(Vec<u32>, Vec<u32>)> = vec![(vec![], vec![]); r];
+    let mut down: Vec<(Vec<u32>, Vec<u32>)> = vec![(vec![], vec![]); r];
+    for &p in pairs {
+        let (v, w) = ((p.src as usize) / n, (p.dst as usize) / n);
+        if v >= r || w >= r || v == w || !seen.insert(p) {
+            return false;
+        }
+        let u = &mut up[v];
+        if !u.0.contains(&p.src) {
+            u.0.push(p.src);
+        }
+        if !u.1.contains(&p.dst) {
+            u.1.push(p.dst);
+        }
+        let d = &mut down[w];
+        if !d.0.contains(&p.src) {
+            d.0.push(p.src);
+        }
+        if !d.1.contains(&p.dst) {
+            d.1.push(p.dst);
+        }
+    }
+    up.iter()
+        .chain(down.iter())
+        .all(|(srcs, dsts)| srcs.len() <= 1 || dsts.len() <= 1)
+}
+
+/// Greedy maximizer: scan all cross-switch pairs in lexicographic order,
+/// keeping each pair that preserves routability. Lower-bounds the true
+/// maximum; by construction it is at least `r(r-1)` is **not** guaranteed,
+/// so callers comparing with the bound should also consult
+/// [`type3_construction`].
+pub fn greedy_max(n: usize, r: usize) -> Vec<SdPair> {
+    // Incremental state mirrors `is_routable_through_root`.
+    let mut up: Vec<(Vec<u32>, Vec<u32>)> = vec![(vec![], vec![]); r];
+    let mut down: Vec<(Vec<u32>, Vec<u32>)> = vec![(vec![], vec![]); r];
+    let ok = |slot: &(Vec<u32>, Vec<u32>), s: u32, d: u32| {
+        let mut srcs = slot.0.len() + usize::from(!slot.0.contains(&s));
+        let mut dsts = slot.1.len() + usize::from(!slot.1.contains(&d));
+        if slot.0.contains(&s) {
+            srcs = slot.0.len();
+        }
+        if slot.1.contains(&d) {
+            dsts = slot.1.len();
+        }
+        srcs <= 1 || dsts <= 1
+    };
+    let mut out = Vec::new();
+    #[allow(clippy::needless_range_loop)]
+    for v in 0..r {
+        for k in 0..n {
+            for w in 0..r {
+                if v == w {
+                    continue;
+                }
+                for l in 0..n {
+                    let s = (v * n + k) as u32;
+                    let d = (w * n + l) as u32;
+                    if ok(&up[v], s, d) && ok(&down[w], s, d) {
+                        if !up[v].0.contains(&s) {
+                            up[v].0.push(s);
+                        }
+                        if !up[v].1.contains(&d) {
+                            up[v].1.push(d);
+                        }
+                        if !down[w].0.contains(&s) {
+                            down[w].0.push(s);
+                        }
+                        if !down[w].1.contains(&d) {
+                            down[w].1.push(d);
+                        }
+                        out.push(SdPair::new(s, d));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Exact maximum via mode enumeration.
+///
+/// Every uplink's legal traffic is described by a *mode*: `OneSrc(k)` (all
+/// pairs from source leaf `(v,k)`) or `OneDst(d)` (all pairs to global leaf
+/// `d`); downlinks symmetrically. Given modes on all `2r` links, the
+/// maximum pair count factorizes per (source switch, destination switch)
+/// cell, and for fixed destination modes the best source mode of each switch
+/// is independent — so the search is `(rn)^r · O(r²n)` instead of doubly
+/// exponential. Returns `None` when that cost exceeds `budget` operations.
+pub fn exact_max(n: usize, r: usize, budget: u128) -> Option<usize> {
+    let dst_mode_count = n + (r - 1) * n; // OneDst(l): n; OneSrc(s not in w): (r-1)n
+    let states = (dst_mode_count as u128).checked_pow(r as u32)?;
+    let per_state = (r * (n + (r - 1) * n) * r) as u128;
+    if states.checked_mul(per_state)? > budget {
+        return None;
+    }
+
+    // Destination mode encoding for switch w: 0..n => OneDst(w*n + code);
+    // n..  => OneSrc(leaf), where leaf skips switch w's block.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        OneSrcLeaf(u32),
+        OneDstLeaf(u32),
+    }
+    let decode_dst = |w: usize, code: usize| -> Mode {
+        if code < n {
+            Mode::OneDstLeaf((w * n + code) as u32)
+        } else {
+            let mut idx = code - n;
+            // Map to a leaf outside switch w.
+            let before = w * n;
+            if idx < before {
+                Mode::OneSrcLeaf(idx as u32)
+            } else {
+                idx += n; // skip w's block
+                Mode::OneSrcLeaf(idx as u32)
+            }
+        }
+    };
+    let count = |v: usize, w: usize, ms: Mode, md: Mode| -> usize {
+        if v == w {
+            return 0;
+        }
+        match (ms, md) {
+            (Mode::OneSrcLeaf(_), Mode::OneDstLeaf(_)) => 1,
+            (Mode::OneSrcLeaf(k), Mode::OneSrcLeaf(s)) => {
+                if s == k {
+                    n
+                } else {
+                    0
+                }
+            }
+            (Mode::OneDstLeaf(d), Mode::OneDstLeaf(l)) => {
+                if d == l {
+                    n
+                } else {
+                    0
+                }
+            }
+            (Mode::OneDstLeaf(d), Mode::OneSrcLeaf(s)) => {
+                usize::from((d as usize) / n == w && (s as usize) / n == v)
+            }
+        }
+    };
+    // Source mode candidates for switch v.
+    let src_modes = |v: usize| -> Vec<Mode> {
+        let mut out = Vec::with_capacity(n + (r - 1) * n);
+        for k in 0..n {
+            out.push(Mode::OneSrcLeaf((v * n + k) as u32));
+        }
+        for leaf in 0..(r * n) {
+            if leaf / n != v {
+                out.push(Mode::OneDstLeaf(leaf as u32));
+            }
+        }
+        out
+    };
+    let src_mode_sets: Vec<Vec<Mode>> = (0..r).map(src_modes).collect();
+
+    let mut best = 0usize;
+    let mut state = vec![0usize; r];
+    loop {
+        // Decode destination modes.
+        let md: Vec<Mode> = (0..r).map(|w| decode_dst(w, state[w])).collect();
+        let mut total = 0usize;
+        for (v, modes) in src_mode_sets.iter().enumerate() {
+            let mut best_v = 0usize;
+            for &ms in modes {
+                let mut sum = 0usize;
+                for (w, &mode_d) in md.iter().enumerate() {
+                    sum += count(v, w, ms, mode_d);
+                }
+                best_v = best_v.max(sum);
+            }
+            total += best_v;
+        }
+        best = best.max(total);
+
+        // Next state (odometer).
+        let mut i = 0;
+        loop {
+            if i == r {
+                return Some(best);
+            }
+            state[i] += 1;
+            if state[i] < dst_mode_count {
+                break;
+            }
+            state[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_regimes_agree_at_crossover() {
+        // r = 2n+1: both formulas coincide.
+        for n in 1..6usize {
+            let r = 2 * n + 1;
+            assert_eq!(r * (r - 1), 2 * n * r);
+            assert_eq!(lemma2_bound(n, r), r * (r - 1));
+        }
+        assert_eq!(lemma2_bound(2, 6), 30); // large regime
+        assert_eq!(lemma2_bound(2, 4), 16); // small regime: 2*2*4
+    }
+
+    #[test]
+    fn type3_is_routable_and_meets_bound() {
+        for (n, r) in [(1, 4), (2, 5), (2, 6), (3, 7), (3, 8)] {
+            let pairs = type3_construction(n, r);
+            assert_eq!(pairs.len(), r * (r - 1));
+            assert!(is_routable_through_root(n, r, &pairs), "n={n} r={r}");
+            if r > 2 * n {
+                assert_eq!(pairs.len(), lemma2_bound(n, r), "tight in large regime");
+            }
+        }
+    }
+
+    #[test]
+    fn routability_checker_rejects_violations() {
+        let n = 2;
+        let r = 3;
+        // Two sources in switch 0 to two different destinations in
+        // different switches: uplink has 2 sources and 2 dests.
+        let bad = vec![SdPair::new(0, 2), SdPair::new(1, 4)];
+        assert!(!is_routable_through_root(n, r, &bad));
+        // Same-switch pair is invalid input.
+        assert!(!is_routable_through_root(n, r, &[SdPair::new(0, 1)]));
+        // Duplicate pair rejected.
+        assert!(!is_routable_through_root(
+            n,
+            r,
+            &[SdPair::new(0, 2), SdPair::new(0, 2)]
+        ));
+        // Two sources to ONE destination is fine (type 1).
+        assert!(is_routable_through_root(
+            n,
+            r,
+            &[SdPair::new(0, 2), SdPair::new(1, 2)]
+        ));
+    }
+
+    #[test]
+    fn greedy_never_exceeds_bound() {
+        for (n, r) in [(1, 3), (2, 3), (2, 5), (2, 7), (3, 4), (3, 7), (4, 9)] {
+            let pairs = greedy_max(n, r);
+            assert!(is_routable_through_root(n, r, &pairs));
+            assert!(
+                pairs.len() <= lemma2_bound(n, r),
+                "n={n} r={r}: greedy {} > bound {}",
+                pairs.len(),
+                lemma2_bound(n, r)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_never_exceeds_bound_and_reaches_type3() {
+        for (n, r) in [(1, 3), (1, 4), (2, 3), (2, 4), (3, 3)] {
+            let exact = exact_max(n, r, 200_000_000).expect("within budget");
+            assert!(
+                exact <= lemma2_bound(n, r),
+                "n={n} r={r}: exact {exact} > bound {}",
+                lemma2_bound(n, r)
+            );
+            assert!(
+                exact >= r * (r - 1),
+                "n={n} r={r}: exact {exact} below type-3 construction"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_matches_bound_in_large_regime() {
+        // n=1: every r is in the large regime; exact == r(r-1).
+        for r in 3..6usize {
+            assert_eq!(exact_max(1, r, 200_000_000).unwrap(), r * (r - 1));
+        }
+        // n=2, r=5 = 2n+1 exactly: bound = 20.
+        let e = exact_max(2, 5, 2_000_000_000).unwrap();
+        assert!(e <= 20);
+        assert!(e >= 20, "construction reaches r(r-1) = 2nr here");
+    }
+
+    #[test]
+    fn budget_guard() {
+        assert_eq!(exact_max(3, 10, 1_000), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! # ftclos-core — nonblocking folded-Clos networks as a library
+//!
+//! The paper's contribution, executable:
+//!
+//! * [`verify`] — the Lemma 1 machinery: link audits (`one source or one
+//!   destination` per channel), contention detection, and the exact
+//!   nonblocking decision procedure for single-path deterministic routing.
+//! * [`search`] — blocking-permutation search: complete two-pair enumeration
+//!   for deterministic routers (Lemma 1 reduces blocking to two-pair
+//!   patterns), exhaustive permutation sweeps for tiny fabrics, randomized
+//!   sweeps and blocking-fraction estimation (rayon-parallel) for everything
+//!   else.
+//! * [`lemma2`] — the Lemma 2 counting problem: the maximum number of SD
+//!   pairs routable through one top-level switch, with an exact mode-based
+//!   solver for small fabrics, an explicit `r(r-1)` construction, and the
+//!   paper's bounds.
+//! * [`construct`] — bundled nonblocking fabrics: `ftree(n+n², r)` with the
+//!   Theorem 3 routing and the recursive three-level network, both
+//!   self-verifying.
+//! * [`design`] — the Table I cost calculator: given a switch radix, the
+//!   largest nonblocking fabric (ours) vs the rearrangeable m-port n-tree.
+//! * [`flow`] — flow-level throughput estimates from link loads.
+//!
+//! ```
+//! use ftclos_core::construct::NonblockingFtree;
+//! use ftclos_traffic::patterns;
+//! use rand::SeedableRng;
+//!
+//! let fabric = NonblockingFtree::new(2, 5).unwrap(); // ftree(2+4, 5)
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let perm = patterns::random_full(fabric.ports() as u32, &mut rng);
+//! let assignment = fabric.route(&perm).unwrap();
+//! assert!(assignment.max_channel_load() <= 1); // nonblocking
+//! ```
+
+pub mod circuit;
+pub mod construct;
+pub mod design;
+pub mod flow;
+pub mod lemma2;
+pub mod search;
+pub mod verify;
+pub mod wide_sense;
+
+pub use circuit::{CircuitClos, ConnectError, MiddlePolicy};
+pub use construct::{NonblockingFtree, NonblockingThreeLevel};
+pub use design::{DesignPoint, TableOneRow};
+pub use search::BlockingReport;
+pub use verify::{ContentionWitness, LinkAudit};

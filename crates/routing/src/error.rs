@@ -1,0 +1,68 @@
+//! Error type for routing computations.
+
+use std::fmt;
+
+/// Errors produced by routers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The router's structural precondition on the fabric is unmet (e.g.
+    /// the Theorem 3 routing needs `m >= n²`).
+    Precondition {
+        /// Router name.
+        router: &'static str,
+        /// What was violated.
+        detail: String,
+    },
+    /// The pattern router needed more top-level switches than the fabric
+    /// has (reported by NONBLOCKINGADAPTIVE when `m` is too small).
+    NotEnoughTops {
+        /// Top switches required by the computed plan.
+        needed: usize,
+        /// Top switches available (`m`).
+        available: usize,
+    },
+    /// An SD pair references a port outside the fabric.
+    PortOutOfRange {
+        /// The offending port.
+        port: u32,
+        /// The fabric's leaf count.
+        ports: u32,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::Precondition { router, detail } => {
+                write!(f, "{router}: precondition violated: {detail}")
+            }
+            RoutingError::NotEnoughTops { needed, available } => {
+                write!(
+                    f,
+                    "not enough top-level switches: plan needs {needed}, fabric has {available}"
+                )
+            }
+            RoutingError::PortOutOfRange { port, ports } => {
+                write!(f, "port {port} out of range (fabric has {ports} leaves)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = RoutingError::NotEnoughTops {
+            needed: 9,
+            available: 4,
+        };
+        assert!(e.to_string().contains("needs 9"));
+        let e = RoutingError::PortOutOfRange { port: 5, ports: 4 };
+        assert!(e.to_string().contains("port 5"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # ftclos-routing — routing algorithms for folded-Clos networks
+//!
+//! Implements every routing scheme the paper analyzes or uses as a
+//! comparator:
+//!
+//! * [`YuanDeterministic`] — the Theorem 3 single-path deterministic routing
+//!   that makes `ftree(n+n², r)` nonblocking: SD pair `(s=(v,i), d=(w,j))`
+//!   goes through top switch `(i, j)`.
+//! * [`DModK`] / [`SModK`] — destination-/source-modular deterministic
+//!   routings (the InfiniBand-style defaults); blocking when `m < n²`, used
+//!   to exhibit Theorem 2 witnesses.
+//! * [`ObliviousMultipath`] — traffic-oblivious multi-path spreading
+//!   (deterministic round-robin or per-packet random), Section IV.B.
+//! * [`NonblockingAdaptive`] — the paper's Fig. 4 local adaptive algorithm
+//!   (configurations of `c+1` partitions of `n` top switches each, greedy
+//!   largest-subset selection), Theorems 4-5.
+//! * [`GreedyLocalAdaptive`] — a least-loaded local adaptive baseline (in
+//!   the spirit of Kim/Dally/Abts adaptive routing) that reduces but does
+//!   not eliminate blocking.
+//! * [`RearrangeableRouter`] — centralized rearrangeable routing via
+//!   bipartite multigraph edge coloring (the Beneš `m >= n` construction);
+//!   this is the "global adaptive / centralized controller" scheme the
+//!   paper contrasts against.
+//! * [`YuanRecursive`] — the composed routing for the three-level
+//!   [`ftclos_topo::RecursiveNonblocking`] network.
+//! * [`ForwardingTables`] — per-switch `(input port, destination) → output
+//!   port` tables compiled from any single-path router, used by the packet
+//!   simulator as its distributed control plane.
+
+pub mod adaptive;
+pub mod assignment;
+pub mod dmodk;
+pub mod error;
+pub mod greedy;
+pub mod multipath;
+pub mod path;
+pub mod rearrangeable;
+pub mod recursive;
+pub mod router;
+pub mod table;
+pub mod xgft_routing;
+pub mod yuan;
+
+pub use adaptive::{AdaptivePlan, NonblockingAdaptive, PlanStrategy};
+pub use assignment::RouteAssignment;
+pub use dmodk::{DModK, SModK};
+pub use error::RoutingError;
+pub use greedy::GreedyLocalAdaptive;
+pub use multipath::{MultipathAssignment, ObliviousMultipath, SpreadPolicy};
+pub use path::Path;
+pub use rearrangeable::RearrangeableRouter;
+pub use recursive::YuanRecursive;
+pub use router::{route_all, PatternRouter, SinglePathRouter};
+pub use table::ForwardingTables;
+pub use xgft_routing::{UpChoice, XgftRouter};
+pub use yuan::YuanDeterministic;

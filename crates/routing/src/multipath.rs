@@ -1,0 +1,285 @@
+//! Traffic-oblivious multi-path deterministic routing (paper Section IV.B).
+//!
+//! Packets of one SD pair are spread over several pre-determined paths,
+//! either round-robin or uniformly at random, independent of the traffic
+//! pattern. The paper's argument: because the *timing* of which path carries
+//! which packet is unpredictable, nonblocking-ness still requires Lemma 1
+//! over the **union** of the spread paths — so the bound `m >= n²` is
+//! unchanged. [`MultipathAssignment::lemma1_violation`] is the executable
+//! form of that argument.
+
+use crate::error::RoutingError;
+use crate::path::Path;
+use ftclos_topo::{ChannelId, Ftree};
+use ftclos_traffic::{Permutation, SdPair};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// How packets are spread over the candidate paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpreadPolicy {
+    /// Deterministic round-robin over the candidate top switches.
+    RoundRobin,
+    /// Independent uniform random top switch per packet.
+    Random,
+}
+
+/// Oblivious multipath routing over `ftree(n+m, r)`: every cross-switch SD
+/// pair may use any of the `m` top switches.
+#[derive(Clone, Copy, Debug)]
+pub struct ObliviousMultipath<'a> {
+    ft: &'a Ftree,
+    policy: SpreadPolicy,
+}
+
+impl<'a> ObliviousMultipath<'a> {
+    /// Create the router.
+    pub fn new(ft: &'a Ftree, policy: SpreadPolicy) -> Self {
+        Self { ft, policy }
+    }
+
+    /// The spread policy.
+    pub fn policy(&self) -> SpreadPolicy {
+        self.policy
+    }
+
+    /// Leaf count of the fabric.
+    pub fn ports(&self) -> u32 {
+        self.ft.num_leaves() as u32
+    }
+
+    /// The candidate path through top switch `t` for a cross-switch pair.
+    fn path_via(&self, pair: SdPair, t: usize) -> Path {
+        let n = self.ft.n();
+        let (v, i) = (pair.src as usize / n, pair.src as usize % n);
+        let (w, j) = (pair.dst as usize / n, pair.dst as usize % n);
+        Path::new(vec![
+            self.ft.leaf_up_channel(v, i),
+            self.ft.up_channel(v, t),
+            self.ft.down_channel(t, w),
+            self.ft.leaf_down_channel(w, j),
+        ])
+    }
+
+    /// All candidate paths for `pair` (one per top switch for cross-switch
+    /// pairs; the single local path otherwise).
+    pub fn paths(&self, pair: SdPair) -> Vec<Path> {
+        let n = self.ft.n();
+        let (v, i) = (pair.src as usize / n, pair.src as usize % n);
+        let (w, j) = (pair.dst as usize / n, pair.dst as usize % n);
+        if pair.src == pair.dst {
+            return vec![Path::empty()];
+        }
+        if v == w {
+            return vec![Path::new(vec![
+                self.ft.leaf_up_channel(v, i),
+                self.ft.leaf_down_channel(w, j),
+            ])];
+        }
+        (0..self.ft.m()).map(|t| self.path_via(pair, t)).collect()
+    }
+
+    /// The path the `seq`-th packet of `pair` takes.
+    ///
+    /// Round-robin uses `seq mod m`; random ignores `seq` and draws from
+    /// `rng`.
+    pub fn packet_path<R: Rng>(&self, pair: SdPair, seq: u64, rng: &mut R) -> Path {
+        let candidates = self.paths(pair);
+        let idx = match self.policy {
+            SpreadPolicy::RoundRobin => (seq % candidates.len() as u64) as usize,
+            SpreadPolicy::Random => rng.gen_range(0..candidates.len()),
+        };
+        candidates[idx].clone()
+    }
+
+    /// Spread a whole pattern: each pair is associated with its full
+    /// candidate set.
+    pub fn spread_pattern(&self, perm: &Permutation) -> Result<MultipathAssignment, RoutingError> {
+        let mut entries = Vec::with_capacity(perm.len());
+        for &pair in perm.pairs() {
+            for port in [pair.src, pair.dst] {
+                if port >= self.ports() {
+                    return Err(RoutingError::PortOutOfRange {
+                        port,
+                        ports: self.ports(),
+                    });
+                }
+            }
+            entries.push((pair, self.paths(pair)));
+        }
+        Ok(MultipathAssignment { entries })
+    }
+}
+
+/// The spread-path sets for a routed pattern.
+#[derive(Clone, Debug, Default)]
+pub struct MultipathAssignment {
+    entries: Vec<(SdPair, Vec<Path>)>,
+}
+
+impl MultipathAssignment {
+    /// The `(pair, candidate paths)` entries.
+    pub fn entries(&self) -> &[(SdPair, Vec<Path>)] {
+        &self.entries
+    }
+
+    /// Expected per-channel load when each pair spreads its unit of traffic
+    /// uniformly over its candidates.
+    pub fn expected_channel_loads(&self) -> HashMap<ChannelId, f64> {
+        let mut loads = HashMap::new();
+        for (_, paths) in &self.entries {
+            if paths.is_empty() {
+                continue;
+            }
+            let w = 1.0 / paths.len() as f64;
+            for p in paths {
+                for &c in p.channels() {
+                    *loads.entry(c).or_insert(0.0) += w;
+                }
+            }
+        }
+        loads
+    }
+
+    /// Maximum expected channel load.
+    pub fn max_expected_load(&self) -> f64 {
+        self.expected_channel_loads()
+            .values()
+            .fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// The Section IV.B test: is there a channel that lies in the candidate
+    /// sets of two pairs with different sources **and** different
+    /// destinations? If so, an adversarial packet timing routes both pairs
+    /// onto that channel simultaneously — the pattern can block.
+    ///
+    /// Returns a witnessing `(channel, pair1, pair2)` if one exists.
+    pub fn lemma1_violation(&self) -> Option<(ChannelId, SdPair, SdPair)> {
+        // channel -> (first pair seen)
+        let mut owner: HashMap<ChannelId, Vec<SdPair>> = HashMap::new();
+        for (pair, paths) in &self.entries {
+            let mut mine: Vec<ChannelId> = paths
+                .iter()
+                .flat_map(|p| p.channels().iter().copied())
+                .collect();
+            mine.sort_unstable();
+            mine.dedup();
+            for c in mine {
+                owner.entry(c).or_default().push(*pair);
+            }
+        }
+        for (c, pairs) in owner {
+            for (a_idx, &a) in pairs.iter().enumerate() {
+                for &b in &pairs[a_idx + 1..] {
+                    if a.src != b.src && a.dst != b.dst {
+                        return Some((c, a, b));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn candidate_sets() {
+        let ft = Ftree::new(2, 3, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin);
+        assert_eq!(r.paths(SdPair::new(0, 4)).len(), 3, "one per top");
+        assert_eq!(r.paths(SdPair::new(0, 1)).len(), 1, "same switch");
+        assert_eq!(r.paths(SdPair::new(0, 0)).len(), 1);
+        assert!(r.paths(SdPair::new(0, 0))[0].is_empty());
+        for p in r.paths(SdPair::new(0, 4)) {
+            p.validate(ft.topology(), ftclos_topo::NodeId(0), ftclos_topo::NodeId(4))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let ft = Ftree::new(2, 3, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin);
+        let pair = SdPair::new(0, 4);
+        let mut g = rng();
+        let p0 = r.packet_path(pair, 0, &mut g);
+        let p3 = r.packet_path(pair, 3, &mut g);
+        assert_eq!(p0, p3, "period m = 3");
+        let p1 = r.packet_path(pair, 1, &mut g);
+        assert_ne!(p0, p1);
+    }
+
+    #[test]
+    fn random_draws_valid_candidates() {
+        let ft = Ftree::new(2, 3, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let pair = SdPair::new(0, 4);
+        let candidates = r.paths(pair);
+        let mut g = rng();
+        for seq in 0..20 {
+            let p = r.packet_path(pair, seq, &mut g);
+            assert!(candidates.contains(&p));
+        }
+    }
+
+    #[test]
+    fn expected_loads_spread_evenly() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4)]).unwrap();
+        let a = r.spread_pattern(&perm).unwrap();
+        let loads = a.expected_channel_loads();
+        // Leaf links carry the full unit, each of 4 uplinks carries 1/4.
+        assert_eq!(loads[&ft.leaf_up_channel(0, 0)], 1.0);
+        assert!((loads[&ft.up_channel(0, 2)] - 0.25).abs() < 1e-12);
+        assert!((a.max_expected_load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_violation_always_exists_for_same_switch_sources() {
+        // Two cross-switch pairs from one switch: candidate sets share every
+        // uplink of the source switch -> violation regardless of m.
+        let ft = Ftree::new(2, 100, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let perm =
+            Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
+        let a = r.spread_pattern(&perm).unwrap();
+        let (c, p1, p2) = a.lemma1_violation().expect("must find witness");
+        assert_ne!(p1.src, p2.src);
+        assert_ne!(p1.dst, p2.dst);
+        // The witness channel is an uplink out of bottom switch 0.
+        let ch = ft.topology().channel(c);
+        assert_eq!(ch.src, ft.bottom(0));
+    }
+
+    #[test]
+    fn no_violation_for_disjoint_pairs() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        // Same destination switch but same destination is impossible in a
+        // permutation; pick fully disjoint switches with distinct tops...
+        // With spreading over all tops, cross-switch pairs from different
+        // sources to different dest switches still share top->dst? No:
+        // downlinks differ by dest switch; uplinks differ by source switch.
+        let perm =
+            Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(6, 8)]).unwrap();
+        let a = r.spread_pattern(&perm).unwrap();
+        assert!(a.lemma1_violation().is_none());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let perm = Permutation::from_pairs(11, [SdPair::new(0, 10)]).unwrap();
+        assert!(r.spread_pattern(&perm).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Distributed forwarding tables compiled from a single-path router.
+//!
+//! In real folded-Clos deployments (e.g. InfiniBand), routing is realized as
+//! per-switch forwarding tables, not as global path objects. This module
+//! compiles any [`SinglePathRouter`] into `(switch, input port, destination)
+//! → output channel` tables — the form the packet simulator consumes — and
+//! verifies the router is *table-realizable* (the same key never demands two
+//! different outputs). The Theorem 3 routing needs the input port in the
+//! key (its top switch depends on the source's local index `i`), which
+//! models source-routed or input-port-dependent switching.
+
+use crate::error::RoutingError;
+use crate::router::SinglePathRouter;
+use ftclos_topo::{ChannelId, NodeId, Topology};
+use ftclos_traffic::SdPair;
+use std::collections::HashMap;
+
+/// Key: switch node, arrival port (`u16::MAX` for packets injected by a
+/// local leaf... never needed: leaf injections enter via the leaf uplink,
+/// which is a real input port), destination leaf.
+type Key = (u32, u16, u32);
+
+/// Compiled forwarding state for a fabric.
+#[derive(Clone, Debug, Default)]
+pub struct ForwardingTables {
+    table: HashMap<Key, ChannelId>,
+    ports: u32,
+}
+
+impl ForwardingTables {
+    /// Compile tables by tracing every ordered leaf pair through `router`.
+    ///
+    /// # Errors
+    /// [`RoutingError::Precondition`] if two pairs demand different outputs
+    /// for the same `(switch, in_port, dst)` key — i.e. the routing function
+    /// cannot be realized by per-switch tables.
+    pub fn compile<R: SinglePathRouter + ?Sized>(
+        router: &R,
+        topo: &Topology,
+    ) -> Result<Self, RoutingError> {
+        let ports = router.ports();
+        let mut table: HashMap<Key, ChannelId> = HashMap::new();
+        for s in 0..ports {
+            for d in 0..ports {
+                if s == d {
+                    continue;
+                }
+                let path = router.try_route(SdPair::new(s, d))?;
+                let channels = path.channels();
+                // Walk consecutive channel pairs: arriving on channels[k]
+                // at its dst node, leave on channels[k+1].
+                for k in 0..channels.len().saturating_sub(1) {
+                    let arrive = topo.channel(channels[k]);
+                    let depart = channels[k + 1];
+                    let key = (arrive.dst.0, arrive.dst_port, d);
+                    match table.insert(key, depart) {
+                        None => {}
+                        Some(prev) if prev == depart => {}
+                        Some(prev) => {
+                            return Err(RoutingError::Precondition {
+                                router: "ForwardingTables",
+                                detail: format!(
+                                    "switch {} in-port {} dst {} maps to both {prev} and {depart}",
+                                    arrive.dst, arrive.dst_port, d
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Self { table, ports })
+    }
+
+    /// Leaf universe size.
+    pub fn ports(&self) -> u32 {
+        self.ports
+    }
+
+    /// Number of table entries across all switches.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Next-hop lookup: the packet is at `node`, arrived on input port
+    /// `in_port`, and wants leaf `dst`.
+    pub fn next_hop(&self, node: NodeId, in_port: u16, dst: u32) -> Option<ChannelId> {
+        self.table.get(&(node.0, in_port, dst)).copied()
+    }
+
+    /// Whether the tables are input-port-independent (classic destination
+    /// routing): for every `(switch, dst)` all input ports agree. `d mod k`
+    /// is; Theorem 3 routing is not.
+    pub fn is_destination_routed(&self) -> bool {
+        let mut by_dst: HashMap<(u32, u32), ChannelId> = HashMap::new();
+        for (&(node, _inport, dst), &out) in &self.table {
+            match by_dst.insert((node, dst), out) {
+                None => {}
+                Some(prev) if prev == out => {}
+                Some(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dmodk::DModK;
+    use crate::yuan::YuanDeterministic;
+    use ftclos_topo::Ftree;
+
+    #[test]
+    fn compile_yuan_and_follow() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let tables = ForwardingTables::compile(&router, ft.topology()).unwrap();
+        assert!(!tables.is_empty());
+        // Walk a packet from leaf 1 (v=0,i=1) to leaf 6 (w=3,j=0) by table
+        // lookups and compare to the router's path.
+        let expected = router.route(SdPair::new(1, 6));
+        let topo = ft.topology();
+        let mut walked = vec![expected.channels()[0]];
+        loop {
+            let last = topo.channel(*walked.last().unwrap());
+            if last.dst == ftclos_topo::NodeId(6) {
+                break;
+            }
+            let next = tables
+                .next_hop(last.dst, last.dst_port, 6)
+                .expect("table entry must exist");
+            walked.push(next);
+        }
+        assert_eq!(walked, expected.channels());
+    }
+
+    #[test]
+    fn yuan_needs_input_port_keys() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let tables = ForwardingTables::compile(&router, ft.topology()).unwrap();
+        assert!(
+            !tables.is_destination_routed(),
+            "Theorem 3 routing is source-dependent"
+        );
+    }
+
+    #[test]
+    fn dmodk_is_destination_routed() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let router = DModK::new(&ft);
+        let tables = ForwardingTables::compile(&router, ft.topology()).unwrap();
+        assert!(tables.is_destination_routed());
+    }
+
+    #[test]
+    fn missing_entry_is_none() {
+        let ft = Ftree::new(2, 2, 3).unwrap();
+        let router = DModK::new(&ft);
+        let tables = ForwardingTables::compile(&router, ft.topology()).unwrap();
+        assert_eq!(tables.next_hop(ftclos_topo::NodeId(0), 99, 3), None);
+    }
+}

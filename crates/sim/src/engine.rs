@@ -1,0 +1,767 @@
+//! The synchronous cycle engine.
+
+use crate::config::{Arbiter, SimConfig};
+use crate::policy::Policy;
+use crate::stats::SimStats;
+use crate::workload::Workload;
+use ftclos_topo::{ChannelId, NodeId, Topology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One in-flight packet.
+#[derive(Clone, Debug)]
+struct Packet {
+    dst: u32,
+    path: Arc<[ChannelId]>,
+    /// Index of the next channel to traverse.
+    hop: usize,
+    inject_cycle: u64,
+    /// Earliest cycle at which the packet may be granted its next hop
+    /// (enforces one hop per cycle and multi-flit serialization).
+    ready_at: u64,
+}
+
+/// Cycle-level simulator over a [`Topology`] with a path [`Policy`].
+pub struct Simulator<'a> {
+    topo: &'a Topology,
+    cfg: SimConfig,
+    policy: Policy,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator. The policy must cover every pair the workload
+    /// can generate (unrouteable injections are counted as refusals).
+    pub fn new(topo: &'a Topology, cfg: SimConfig, policy: Policy) -> Self {
+        Self { topo, cfg, policy }
+    }
+
+    /// Run one simulation and return its statistics. `seed` drives
+    /// injection coin flips and random path spreading; equal seeds give
+    /// identical runs.
+    pub fn run(&mut self, workload: &Workload, seed: u64) -> SimStats {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let num_channels = self.topo.num_channels();
+        let leaves: Vec<NodeId> = self.topo.leaves().collect();
+        // Queue of packets that crossed each channel, waiting at its dst.
+        let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); num_channels];
+        let mut inject: Vec<VecDeque<Packet>> = vec![VecDeque::new(); leaves.len()];
+        // Leaf node id -> dense leaf slot (leaves are the first node ids in
+        // all our builders, but don't rely on it).
+        let mut leaf_slot = vec![usize::MAX; self.topo.num_nodes()];
+        for (slot, &l) in leaves.iter().enumerate() {
+            leaf_slot[l.index()] = slot;
+        }
+        // Round-robin grant pointer per output channel (arbiter state).
+        let mut rr = vec![0u32; num_channels];
+        // iSLIP accept pointer per input channel.
+        let mut accept_ptr = vec![0u32; num_channels];
+        // Multi-flit serialization: a channel is busy until this cycle.
+        let mut busy_until = vec![0u64; num_channels];
+        let flits = self.cfg.packet_flits.max(1);
+        let mut source_injected = vec![false; leaves.len()];
+        let mut window_latencies: Vec<u64> = Vec::new();
+        let switch_nodes: Vec<NodeId> = self
+            .topo
+            .node_ids()
+            .filter(|&id| self.topo.kind(id).is_switch())
+            .collect();
+
+        let mut stats = SimStats {
+            window_cycles: self.cfg.measure_cycles,
+            offered_rate: workload.rate(),
+            channel_busy: vec![0; num_channels],
+            ..SimStats::default()
+        };
+        let warmup = self.cfg.warmup_cycles;
+        let total = self.cfg.total_cycles();
+
+        let mut now = 0u64;
+        loop {
+            if now >= total {
+                // Drain: run movement-only until the network empties.
+                let inflight = stats.injected_total - stats.delivered_total;
+                if !self.cfg.drain || inflight == 0 || now >= total + SimConfig::DRAIN_CAP {
+                    break;
+                }
+            }
+            let in_window = now >= warmup && now < total;
+            let injecting = now < total;
+            // --- Injection phase ---
+            for (slot, &leaf) in leaves.iter().enumerate() {
+                if !injecting {
+                    break;
+                }
+                if !rng.gen_bool(workload.rate().clamp(0.0, 1.0)) {
+                    continue;
+                }
+                let src = leaf.0;
+                let Some(dst) = workload.destination(src, |n| rng.gen_range(0..n)) else {
+                    continue;
+                };
+                if self.cfg.bounded_injection && inject[slot].len() >= self.cfg.queue_capacity {
+                    stats.injection_refusals += 1;
+                    continue;
+                }
+                let queue_probe = |c: ChannelId| queues[c.index()].len();
+                let Some(path) = self.policy.pick(src, dst, queue_probe, &mut rng) else {
+                    stats.injection_refusals += 1;
+                    continue;
+                };
+                source_injected[slot] = true;
+                stats.injected_total += 1;
+                if in_window {
+                    stats.injected_in_window += 1;
+                }
+                if path.is_empty() {
+                    // Self traffic: delivered instantly.
+                    stats.delivered_total += 1;
+                    if in_window {
+                        stats.delivered_in_window += 1;
+                    }
+                    continue;
+                }
+                inject[slot].push_back(Packet {
+                    dst,
+                    path,
+                    hop: 0,
+                    inject_cycle: now,
+                    ready_at: now,
+                });
+            }
+
+            // --- Movement phase: one grant per output channel per cycle ---
+            // Injection links (leaf -> switch): a leaf drives a single
+            // uplink, no arbitration needed under either discipline.
+            for (slot, &leaf) in leaves.iter().enumerate() {
+                let Some(&up) = self.topo.out_channels(leaf).first() else {
+                    continue;
+                };
+                let o = up.index();
+                if busy_until[o] > now || queues[o].len() >= self.cfg.queue_capacity {
+                    continue;
+                }
+                let q = &mut inject[slot];
+                let eligible = matches!(
+                    q.front(),
+                    Some(p) if p.ready_at <= now && p.path[p.hop] == up
+                );
+                if eligible {
+                    let p = q.pop_front().expect("checked above");
+                    self.advance(
+                        p,
+                        o,
+                        now,
+                        flits,
+                        in_window,
+                        &mut queues,
+                        &mut busy_until,
+                        &mut stats,
+                        &mut window_latencies,
+                    );
+                }
+            }
+            // Switch outputs.
+            match self.cfg.arbiter {
+                Arbiter::HolFifo => {
+                    for o in 0..num_channels {
+                        if busy_until[o] > now {
+                            continue; // a multi-flit packet occupies the wire
+                        }
+                        let ch = self.topo.channel(ChannelId(o as u32));
+                        if self.topo.kind(ch.src).is_leaf() {
+                            continue; // injection links handled above
+                        }
+                        let to_leaf = self.topo.kind(ch.dst).is_leaf();
+                        if !to_leaf && queues[o].len() >= self.cfg.queue_capacity {
+                            continue; // no downstream credit
+                        }
+                        // Round-robin over the switch's input-queue *heads*.
+                        let inputs = self.topo.in_channels(ch.src);
+                        let n_in = inputs.len();
+                        let start = rr[o] as usize % n_in.max(1);
+                        for k in 0..n_in {
+                            let idx = (start + k) % n_in;
+                            let q = &mut queues[inputs[idx].index()];
+                            let head_ok = matches!(
+                                q.front(),
+                                Some(p) if p.ready_at <= now && p.hop < p.path.len()
+                                    && p.path[p.hop] == ChannelId(o as u32)
+                            );
+                            if head_ok {
+                                let p = q.pop_front().expect("checked above");
+                                rr[o] = (idx as u32 + 1) % n_in as u32;
+                                self.advance(
+                                    p,
+                                    o,
+                                    now,
+                                    flits,
+                                    in_window,
+                                    &mut queues,
+                                    &mut busy_until,
+                                    &mut stats,
+                                    &mut window_latencies,
+                                );
+                                break;
+                            }
+                        }
+                    }
+                }
+                Arbiter::Voq { iterations } => {
+                    for &sw in &switch_nodes {
+                        self.islip_switch(
+                            sw,
+                            iterations.max(1),
+                            now,
+                            flits,
+                            in_window,
+                            &mut queues,
+                            &mut busy_until,
+                            &mut rr,
+                            &mut accept_ptr,
+                            &mut stats,
+                            &mut window_latencies,
+                        );
+                    }
+                }
+            }
+            now += 1;
+        }
+        stats.leftover_packets = stats.injected_total - stats.delivered_total;
+        stats.active_sources = source_injected.iter().filter(|&&b| b).count();
+        window_latencies.sort_unstable();
+        self.finish_stats(&mut stats, &window_latencies);
+        stats
+    }
+
+    /// Fill in percentile fields from sorted window latencies.
+    fn finish_stats(&self, stats: &mut SimStats, sorted: &[u64]) {
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                0
+            } else {
+                let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+                sorted[idx]
+            }
+        };
+        stats.latency_p50 = pct(0.50);
+        stats.latency_p95 = pct(0.95);
+        stats.latency_p99 = pct(0.99);
+    }
+
+    /// Move one granted packet across output channel `o`.
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        &self,
+        mut p: Packet,
+        o: usize,
+        now: u64,
+        flits: u64,
+        in_window: bool,
+        queues: &mut [VecDeque<Packet>],
+        busy_until: &mut [u64],
+        stats: &mut SimStats,
+        window_latencies: &mut Vec<u64>,
+    ) {
+        let ch = self.topo.channel(ChannelId(o as u32));
+        let to_leaf = self.topo.kind(ch.dst).is_leaf();
+        p.hop += 1;
+        // The wire serializes `flits` flits; the packet cannot be forwarded
+        // again (cut-through is not modeled) until the tail flit arrives.
+        p.ready_at = now + flits;
+        busy_until[o] = now + flits;
+        if in_window {
+            stats.channel_busy[o] += flits;
+        }
+        if to_leaf {
+            debug_assert_eq!(ch.dst.0, p.dst, "path must end at the destination");
+            debug_assert_eq!(p.hop, p.path.len());
+            stats.delivered_total += 1;
+            if in_window {
+                stats.delivered_in_window += 1;
+                let lat = now - p.inject_cycle + flits;
+                stats.latency_sum += lat;
+                stats.latency_max = stats.latency_max.max(lat);
+                window_latencies.push(lat);
+            }
+        } else {
+            queues[o].push_back(p);
+        }
+    }
+
+    /// One cycle of iSLIP request-grant-accept matching on switch `sw`,
+    /// followed by the matched packet moves.
+    ///
+    /// Virtual output queues are realized over the shared per-input buffer:
+    /// the packet an input offers toward output `o` is the *first* buffered
+    /// packet whose next hop is `o` (FIFO per virtual queue), so a blocked
+    /// head never stalls traffic for other outputs.
+    #[allow(clippy::too_many_arguments)]
+    fn islip_switch(
+        &self,
+        sw: NodeId,
+        iterations: u8,
+        now: u64,
+        flits: u64,
+        in_window: bool,
+        queues: &mut [VecDeque<Packet>],
+        busy_until: &mut [u64],
+        grant_ptr: &mut [u32],
+        accept_ptr: &mut [u32],
+        stats: &mut SimStats,
+        window_latencies: &mut Vec<u64>,
+    ) {
+        let inputs = self.topo.in_channels(sw);
+        let outputs = self.topo.out_channels(sw);
+        if inputs.is_empty() || outputs.is_empty() {
+            return;
+        }
+        // Output-channel index -> local output slot.
+        let out_slot = |c: ChannelId| outputs.iter().position(|&o| o == c);
+
+        // Per input: the buffer position of the first eligible packet per
+        // local output (the VOQ heads).
+        let mut voq_head: Vec<Vec<Option<usize>>> = Vec::with_capacity(inputs.len());
+        for &qi in inputs {
+            let mut heads = vec![None; outputs.len()];
+            for (pos, p) in queues[qi.index()].iter().enumerate() {
+                if p.ready_at > now || p.hop >= p.path.len() {
+                    continue;
+                }
+                if let Some(oj) = out_slot(p.path[p.hop]) {
+                    if heads[oj].is_none() {
+                        heads[oj] = Some(pos);
+                    }
+                }
+            }
+            voq_head.push(heads);
+        }
+        // Output availability (wire free + downstream credit).
+        let out_ok: Vec<bool> = outputs
+            .iter()
+            .map(|&o| {
+                if busy_until[o.index()] > now {
+                    return false;
+                }
+                let ch = self.topo.channel(o);
+                self.topo.kind(ch.dst).is_leaf()
+                    || queues[o.index()].len() < self.cfg.queue_capacity
+            })
+            .collect();
+
+        let mut in_matched = vec![false; inputs.len()];
+        let mut out_matched = vec![false; outputs.len()];
+        let mut matches: Vec<(usize, usize)> = Vec::new();
+        for iter in 0..iterations {
+            // Grant: each free output offers to one requesting input,
+            // scanning from its grant pointer.
+            let mut grants: Vec<Vec<usize>> = vec![Vec::new(); inputs.len()];
+            let mut any_grant = false;
+            for (oj, &o) in outputs.iter().enumerate() {
+                if out_matched[oj] || !out_ok[oj] {
+                    continue;
+                }
+                let start = grant_ptr[o.index()] as usize % inputs.len();
+                for k in 0..inputs.len() {
+                    let ii = (start + k) % inputs.len();
+                    if !in_matched[ii] && voq_head[ii][oj].is_some() {
+                        grants[ii].push(oj);
+                        any_grant = true;
+                        break;
+                    }
+                }
+            }
+            if !any_grant {
+                break;
+            }
+            // Accept: each input picks one granted output, scanning from
+            // its accept pointer; pointers advance only on first-iteration
+            // accepts (standard iSLIP desynchronization rule).
+            for (ii, granted) in grants.iter().enumerate() {
+                if granted.is_empty() || in_matched[ii] {
+                    continue;
+                }
+                let qi = inputs[ii];
+                let start = accept_ptr[qi.index()] as usize % outputs.len();
+                let oj = *granted
+                    .iter()
+                    .min_by_key(|&&oj| (oj + outputs.len() - start) % outputs.len())
+                    .expect("non-empty");
+                in_matched[ii] = true;
+                out_matched[oj] = true;
+                matches.push((ii, oj));
+                if iter == 0 {
+                    grant_ptr[outputs[oj].index()] = ((ii + 1) % inputs.len()) as u32;
+                    accept_ptr[qi.index()] = ((oj + 1) % outputs.len()) as u32;
+                }
+            }
+        }
+        // Move matched packets.
+        for (ii, oj) in matches {
+            let pos = voq_head[ii][oj].expect("matched implies eligible");
+            let p = queues[inputs[ii].index()]
+                .remove(pos)
+                .expect("position is in range");
+            self.advance(
+                p,
+                outputs[oj].index(),
+                now,
+                flits,
+                in_window,
+                queues,
+                busy_until,
+                stats,
+                window_latencies,
+            );
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclos_routing::{
+        DModK, ObliviousMultipath, SpreadPolicy, YuanDeterministic,
+    };
+    use ftclos_topo::{crossbar, Ftree};
+    use ftclos_traffic::{adversarial, patterns};
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn crossbar_delivers_line_rate_permutation() {
+        let xb = crossbar(8).unwrap();
+        // Route over the crossbar: 2-hop paths via the switch.
+        struct XbRouter<'a>(&'a ftclos_topo::Crossbar);
+        impl ftclos_routing::SinglePathRouter for XbRouter<'_> {
+            fn ports(&self) -> u32 {
+                self.0.ports() as u32
+            }
+            fn route(&self, pair: ftclos_traffic::SdPair) -> ftclos_routing::Path {
+                if pair.src == pair.dst {
+                    return ftclos_routing::Path::empty();
+                }
+                ftclos_routing::Path::new(vec![
+                    self.0.up_channel(pair.src as usize),
+                    self.0.down_channel(pair.dst as usize),
+                ])
+            }
+            fn name(&self) -> &'static str {
+                "crossbar"
+            }
+        }
+        let policy = Policy::from_single_path(&XbRouter(&xb));
+        let perm = patterns::shift(8, 3);
+        let mut sim = Simulator::new(xb.topology(), cfg(), policy);
+        let stats = sim.run(&Workload::permutation(&perm, 1.0), 1);
+        assert!(
+            stats.accepted_throughput() > 0.95,
+            "crossbar throughput {}",
+            stats.accepted_throughput()
+        );
+        assert_eq!(stats.injection_refusals, 0);
+    }
+
+    #[test]
+    fn nonblocking_ftree_matches_crossbar() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let policy = Policy::from_single_path(&router);
+        let perm = adversarial::rotate_switches(adversarial::FtreeShape { n: 2, m: 4, r: 5 });
+        let mut sim = Simulator::new(ft.topology(), cfg(), policy);
+        let stats = sim.run(&Workload::permutation(&perm, 1.0), 2);
+        assert!(
+            stats.accepted_throughput() > 0.95,
+            "Theorem 3 fabric throughput {}",
+            stats.accepted_throughput()
+        );
+    }
+
+    #[test]
+    fn blocked_routing_loses_throughput() {
+        // d-mod-k with m < n^2 on a permutation engineered to collide.
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let router = DModK::new(&ft);
+        let policy = Policy::from_single_path(&router);
+        // All leaves of each switch target the same residue class.
+        let shape = adversarial::FtreeShape { n: 2, m: 2, r: 5 };
+        let perm = adversarial::rotate_switches(shape);
+        let mut sim = Simulator::new(ft.topology(), cfg(), policy);
+        let stats = sim.run(&Workload::permutation(&perm, 1.0), 3);
+        // rotate keeps local index, so (v,0) and (v,1) go to dsts with
+        // different parity -> actually contention-free for d-mod-2. Use a
+        // same-parity attack instead: shift by one switch AND swap local
+        // index... simpler: uniform random traffic saturates below 1.
+        let uni = Workload::uniform_random(10, 1.0);
+        let stats_uni = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
+            .run(&uni, 4);
+        assert!(stats_uni.accepted_throughput() < 0.95);
+        // The permutation case is a sanity run (no assertion on value).
+        assert!(stats.delivered_total > 0);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 2);
+        let lo = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
+            .run(&Workload::permutation(&perm, 0.1), 5);
+        let hi = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
+            .run(&Workload::permutation(&perm, 0.9), 5);
+        assert!(lo.mean_latency() >= 2.0, "at least hop count");
+        assert!(hi.mean_latency() >= lo.mean_latency());
+    }
+
+    #[test]
+    fn bounded_injection_refuses() {
+        let ft = Ftree::new(2, 1, 5).unwrap(); // single top: heavy contention
+        let router = DModK::new(&ft);
+        let config = SimConfig {
+            bounded_injection: true,
+            queue_capacity: 2,
+            warmup_cycles: 100,
+            measure_cycles: 500,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(ft.topology(), config, Policy::from_single_path(&router));
+        let stats = sim.run(&Workload::uniform_random(10, 1.0), 6);
+        assert!(stats.injection_refusals > 0);
+    }
+
+    #[test]
+    fn multipath_spreading_beats_single_path_on_adversarial_pattern() {
+        // All four sources of switch 0 target destinations ≡ 0 (mod m):
+        // d-mod-k funnels them onto one uplink (~0.25 throughput), while
+        // oblivious spreading uses all four uplinks.
+        let ft = Ftree::new(4, 4, 9).unwrap();
+        let single = DModK::new(&ft);
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let perm = ftclos_traffic::Permutation::from_pairs(
+            36,
+            (0..4).map(|k| ftclos_traffic::SdPair::new(k, (k + 1) * 4)),
+        )
+        .unwrap();
+        let w = Workload::permutation(&perm, 1.0);
+        let s1 = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&single))
+            .run(&w, 7);
+        let s2 = Simulator::new(ft.topology(), cfg(), Policy::from_multipath(&mp, true))
+            .run(&w, 7);
+        assert!(
+            s1.accepted_throughput() < 0.35,
+            "d-mod-k should funnel: {}",
+            s1.accepted_throughput()
+        );
+        assert!(
+            s2.accepted_throughput() > s1.accepted_throughput() + 0.2,
+            "multipath {} vs single {}",
+            s2.accepted_throughput(),
+            s1.accepted_throughput()
+        );
+    }
+
+    #[test]
+    fn multi_flit_packets_serialize() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 2);
+        let run = |flits: u64, rate: f64| {
+            let config = SimConfig {
+                packet_flits: flits,
+                ..cfg()
+            };
+            Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+                .run(&Workload::permutation(&perm, rate), 21)
+        };
+        // At low load, latency grows by ~(flits-1) per hop.
+        let lat1 = run(1, 0.05).mean_latency();
+        let lat4 = run(4, 0.05).mean_latency();
+        assert!(
+            lat4 > lat1 * 2.5,
+            "store-and-forward serialization: {lat1} vs {lat4}"
+        );
+        // At saturation, packet throughput is ~1/flits of the single-flit
+        // case (the wire carries the same flit rate).
+        let thr1 = run(1, 1.0).accepted_throughput();
+        let thr4 = run(4, 1.0).accepted_throughput();
+        assert!(
+            (thr4 - thr1 / 4.0).abs() < 0.05,
+            "packet throughput {thr4} vs expected {}",
+            thr1 / 4.0
+        );
+    }
+
+    #[test]
+    fn hol_blocking_vs_islip_on_uniform_crossbar() {
+        // The classic input-queued switch result: FIFO input queues cap
+        // uniform-traffic throughput near 58.6% (HOL blocking); VOQs with
+        // iSLIP restore ~100%. This validates the arbitration model.
+        let xb = crossbar(16).unwrap();
+        struct XbRouter<'a>(&'a ftclos_topo::Crossbar);
+        impl ftclos_routing::SinglePathRouter for XbRouter<'_> {
+            fn ports(&self) -> u32 {
+                self.0.ports() as u32
+            }
+            fn route(&self, pair: ftclos_traffic::SdPair) -> ftclos_routing::Path {
+                if pair.src == pair.dst {
+                    return ftclos_routing::Path::empty();
+                }
+                ftclos_routing::Path::new(vec![
+                    self.0.up_channel(pair.src as usize),
+                    self.0.down_channel(pair.dst as usize),
+                ])
+            }
+            fn name(&self) -> &'static str {
+                "crossbar"
+            }
+        }
+        let router = XbRouter(&xb);
+        let uni = Workload::uniform_random(16, 1.0);
+        let base = SimConfig {
+            warmup_cycles: 500,
+            measure_cycles: 3_000,
+            queue_capacity: 64,
+            ..SimConfig::default()
+        };
+        let run = |arbiter| {
+            Simulator::new(
+                xb.topology(),
+                SimConfig { arbiter, ..base },
+                Policy::from_single_path(&router),
+            )
+            .run(&uni, 31)
+            .accepted_throughput()
+        };
+        let hol = run(crate::config::Arbiter::HolFifo);
+        let islip1 = run(crate::config::Arbiter::Voq { iterations: 1 });
+        let islip3 = run(crate::config::Arbiter::Voq { iterations: 3 });
+        // HOL caps well below line rate regardless of buffering (the
+        // classic unbounded-queue limit is 0.586; finite buffers with
+        // injection backpressure land slightly above it).
+        assert!(
+            (0.5..0.78).contains(&hol),
+            "HOL throughput {hol} should sit near the classic limit"
+        );
+        // Our VOQs share one per-input buffer, so iSLIP-1 approaches line
+        // rate only as buffers deepen; 3 iterations get there already.
+        assert!(islip1 > hol + 0.1, "iSLIP-1 {islip1} must clearly beat HOL {hol}");
+        assert!(islip3 > 0.93, "iSLIP-3 {islip3} should approach line rate");
+    }
+
+    #[test]
+    fn islip_matches_hol_on_permutation_traffic() {
+        // Permutation traffic has one flow per input, so there is no HOL
+        // blocking to remove: both disciplines deliver line rate on the
+        // nonblocking fabric.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 4);
+        let w = Workload::permutation(&perm, 1.0);
+        for arbiter in [
+            crate::config::Arbiter::HolFifo,
+            crate::config::Arbiter::Voq { iterations: 1 },
+            crate::config::Arbiter::Voq { iterations: 3 },
+        ] {
+            let config = SimConfig { arbiter, ..cfg() };
+            let stats =
+                Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+                    .run(&w, 33);
+            assert!(
+                stats.accepted_throughput() > 0.95,
+                "{arbiter:?}: {}",
+                stats.accepted_throughput()
+            );
+        }
+    }
+
+    #[test]
+    fn islip_improves_dmodk_fat_tree_under_uniform_load() {
+        // VOQs cannot make a blocking routing nonblocking, but they remove
+        // the HOL component of the loss.
+        let ft = Ftree::new(4, 4, 8).unwrap();
+        let router = DModK::new(&ft);
+        let uni = Workload::uniform_random(32, 1.0);
+        let hol = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
+            .run(&uni, 35)
+            .accepted_throughput();
+        let voq = Simulator::new(
+            ft.topology(),
+            SimConfig {
+                arbiter: crate::config::Arbiter::Voq { iterations: 2 },
+                ..cfg()
+            },
+            Policy::from_single_path(&router),
+        )
+        .run(&uni, 35)
+        .accepted_throughput();
+        assert!(voq > hol, "VOQ {voq} should beat HOL {hol}");
+        assert!(voq < 0.98, "still not a crossbar: routing is the bottleneck");
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let router = DModK::new(&ft);
+        let config = cfg();
+        let stats = Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+            .run(&Workload::uniform_random(10, 0.8), 22);
+        assert!(stats.latency_p50 >= 2);
+        assert!(stats.latency_p50 <= stats.latency_p95);
+        assert!(stats.latency_p95 <= stats.latency_p99);
+        assert!(stats.latency_p99 <= stats.latency_max);
+    }
+
+    #[test]
+    fn drain_conserves_packets() {
+        // With drain on, every injected packet is eventually delivered:
+        // injected == delivered exactly, even under heavy contention.
+        let ft = Ftree::new(2, 1, 5).unwrap();
+        let router = DModK::new(&ft);
+        let config = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 400,
+            drain: true,
+            ..SimConfig::default()
+        };
+        let stats = Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+            .run(&Workload::uniform_random(10, 1.0), 44);
+        assert_eq!(stats.leftover_packets, 0, "drain must empty the network");
+        assert_eq!(stats.injected_total, stats.delivered_total);
+        assert!(stats.injected_total > 0);
+    }
+
+    #[test]
+    fn no_drain_reports_leftovers_consistently() {
+        let ft = Ftree::new(2, 1, 5).unwrap();
+        let router = DModK::new(&ft);
+        let stats = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
+            .run(&Workload::uniform_random(10, 1.0), 44);
+        assert_eq!(
+            stats.injected_total,
+            stats.delivered_total + stats.leftover_packets,
+            "conservation with in-flight remainder"
+        );
+        assert!(stats.leftover_packets > 0, "congested run leaves packets queued");
+    }
+
+    #[test]
+    fn same_seed_same_stats() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 2);
+        let w = Workload::permutation(&perm, 0.5);
+        let a = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
+            .run(&w, 11);
+        let b = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
+            .run(&w, 11);
+        assert_eq!(a, b);
+    }
+}

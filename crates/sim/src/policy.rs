@@ -1,0 +1,261 @@
+//! Path-selection policies: how a packet gets its route at injection time.
+//!
+//! All policies precompute candidate paths per (src, dst) pair so the hot
+//! simulation loop does no routing work beyond an index choice. Adaptivity
+//! happens **only at the source switch** — for `ftree(n+m, r)` that is the
+//! only place a fat-tree has any (paper Section V).
+
+use ftclos_routing::{ObliviousMultipath, RouteAssignment, SinglePathRouter};
+use ftclos_topo::ChannelId;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type PathArc = Arc<[ChannelId]>;
+
+/// How the next packet of a pair picks among its candidate paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Choice {
+    /// Single candidate (deterministic / pattern-fixed).
+    Fixed,
+    /// Round-robin across candidates (oblivious deterministic spreading).
+    RoundRobin,
+    /// Uniform random candidate per packet (oblivious random spreading).
+    Random,
+    /// Least downstream queue occupancy of the candidate's first switch
+    /// uplink, ties broken uniformly at random (local queue-adaptive).
+    QueueAdaptive,
+    /// Ablation variant of [`Choice::QueueAdaptive`] with deterministic
+    /// lowest-index tie-breaking — demonstrably herds whole fabrics onto
+    /// the low-index top switches and collapses throughput.
+    QueueAdaptiveFirst,
+}
+
+/// Path selection policy for the simulator.
+#[derive(Clone, Debug)]
+pub struct Policy {
+    options: HashMap<(u32, u32), Vec<PathArc>>,
+    counters: HashMap<(u32, u32), u64>,
+    choice: Choice,
+}
+
+impl Policy {
+    fn from_options(options: HashMap<(u32, u32), Vec<PathArc>>, choice: Choice) -> Self {
+        Self {
+            options,
+            counters: HashMap::new(),
+            choice,
+        }
+    }
+
+    /// One fixed path per pair, precomputed from a single-path router for
+    /// every ordered leaf pair.
+    pub fn from_single_path<R: SinglePathRouter + ?Sized>(router: &R) -> Self {
+        let ports = router.ports();
+        let mut options = HashMap::with_capacity((ports as usize) * (ports as usize - 1));
+        for s in 0..ports {
+            for d in 0..ports {
+                if s == d {
+                    continue;
+                }
+                let path: PathArc = router
+                    .route(ftclos_traffic::SdPair::new(s, d))
+                    .channels()
+                    .to_vec()
+                    .into();
+                options.insert((s, d), vec![path]);
+            }
+        }
+        Self::from_options(options, Choice::Fixed)
+    }
+
+    /// Fixed paths from a pattern-level assignment (adaptive/centralized
+    /// routers). Pairs absent from the assignment cannot inject.
+    pub fn from_assignment(assignment: &RouteAssignment) -> Self {
+        let mut options = HashMap::with_capacity(assignment.len());
+        for (pair, path) in assignment.routes() {
+            let arc: PathArc = path.channels().to_vec().into();
+            options.insert((pair.src, pair.dst), vec![arc]);
+        }
+        Self::from_options(options, Choice::Fixed)
+    }
+
+    /// Oblivious multipath: all candidate paths per pair, spread per packet.
+    pub fn from_multipath(router: &ObliviousMultipath<'_>, random: bool) -> Self {
+        let ports = router.ports();
+        let mut options = HashMap::new();
+        for s in 0..ports {
+            for d in 0..ports {
+                if s == d {
+                    continue;
+                }
+                let paths: Vec<PathArc> = router
+                    .paths(ftclos_traffic::SdPair::new(s, d))
+                    .into_iter()
+                    .map(|p| PathArc::from(p.channels().to_vec()))
+                    .collect();
+                options.insert((s, d), paths);
+            }
+        }
+        Self::from_options(
+            options,
+            if random {
+                Choice::Random
+            } else {
+                Choice::RoundRobin
+            },
+        )
+    }
+
+    /// Local queue-adaptive selection over the multipath candidates: the
+    /// packet takes the candidate whose *second* channel (the source
+    /// switch's uplink) currently has the shortest downstream queue.
+    pub fn queue_adaptive(router: &ObliviousMultipath<'_>) -> Self {
+        let mut p = Self::from_multipath(router, false);
+        p.choice = Choice::QueueAdaptive;
+        p
+    }
+
+    /// Ablation: queue-adaptive with deterministic lowest-index
+    /// tie-breaking (see the `ablation` experiment binary).
+    pub fn queue_adaptive_deterministic_ties(router: &ObliviousMultipath<'_>) -> Self {
+        let mut p = Self::from_multipath(router, false);
+        p.choice = Choice::QueueAdaptiveFirst;
+        p
+    }
+
+    /// Whether the pair can be routed at all.
+    pub fn can_route(&self, src: u32, dst: u32) -> bool {
+        src == dst || self.options.contains_key(&(src, dst))
+    }
+
+    /// Pick the path for the next packet of `(src, dst)`.
+    ///
+    /// `queue_len(channel)` exposes current downstream queue occupancy for
+    /// the queue-adaptive policy; `rng` drives random spreading.
+    pub fn pick<R: Rng>(
+        &mut self,
+        src: u32,
+        dst: u32,
+        queue_len: impl Fn(ChannelId) -> usize,
+        rng: &mut R,
+    ) -> Option<PathArc> {
+        if src == dst {
+            return Some(Arc::from(Vec::new()));
+        }
+        let candidates = self.options.get(&(src, dst))?;
+        let idx = match self.choice {
+            Choice::Fixed => 0,
+            Choice::RoundRobin => {
+                let counter = self.counters.entry((src, dst)).or_insert(0);
+                let i = (*counter % candidates.len() as u64) as usize;
+                *counter += 1;
+                i
+            }
+            Choice::Random => rng.gen_range(0..candidates.len()),
+            Choice::QueueAdaptive => {
+                // Shortest local uplink queue; ties broken uniformly at
+                // random (deterministic tie-breaks herd every switch onto
+                // the same low-index top and collapse throughput).
+                let occupancy = |p: &PathArc| {
+                    // Same-switch candidates have 2 hops; uplink is index 1.
+                    let probe = if p.len() >= 2 { p[1] } else { p[0] };
+                    queue_len(probe)
+                };
+                let best = candidates.iter().map(occupancy).min().unwrap_or(0);
+                let minima: Vec<usize> = candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| occupancy(p) == best)
+                    .map(|(i, _)| i)
+                    .collect();
+                minima[rng.gen_range(0..minima.len())]
+            }
+            Choice::QueueAdaptiveFirst => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, p)| {
+                    let probe = if p.len() >= 2 { p[1] } else { p[0] };
+                    (queue_len(probe), *i)
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        };
+        Some(candidates[idx].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclos_routing::{SpreadPolicy, YuanDeterministic};
+    use ftclos_topo::Ftree;
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(4)
+    }
+
+    #[test]
+    fn single_path_policy_is_fixed() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let mut p = Policy::from_single_path(&router);
+        let mut g = rng();
+        let a = p.pick(0, 5, |_| 0, &mut g).unwrap();
+        let b = p.pick(0, 5, |_| 0, &mut g).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(p.can_route(0, 0));
+        assert_eq!(p.pick(0, 0, |_| 0, &mut g).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn round_robin_cycles_candidates() {
+        let ft = Ftree::new(2, 3, 5).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin);
+        let mut p = Policy::from_multipath(&mp, false);
+        let mut g = rng();
+        let a = p.pick(0, 4, |_| 0, &mut g).unwrap();
+        let b = p.pick(0, 4, |_| 0, &mut g).unwrap();
+        let c = p.pick(0, 4, |_| 0, &mut g).unwrap();
+        let d = p.pick(0, 4, |_| 0, &mut g).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(a, d, "period 3");
+    }
+
+    #[test]
+    fn queue_adaptive_avoids_long_queue() {
+        let ft = Ftree::new(2, 3, 5).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin);
+        let mut p = Policy::queue_adaptive(&mp);
+        let mut g = rng();
+        // Make the uplink to top 0 look congested.
+        let busy = ft.up_channel(0, 0);
+        let path = p
+            .pick(0, 4, |c| if c == busy { 10 } else { 0 }, &mut g)
+            .unwrap();
+        assert_ne!(path[1], busy, "adaptive must dodge the long queue");
+    }
+
+    #[test]
+    fn unrouteable_pair_is_none() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let assignment = ftclos_routing::route_all(
+            &router,
+            &ftclos_traffic::Permutation::from_pairs(
+                10,
+                [ftclos_traffic::SdPair::new(0, 5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut p = Policy::from_assignment(&assignment);
+        let mut g = rng();
+        assert!(p.pick(0, 5, |_| 0, &mut g).is_some());
+        assert!(p.pick(1, 4, |_| 0, &mut g).is_none());
+        assert!(!p.can_route(1, 4));
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected over a run; latency figures cover packets *delivered
+/// inside the measurement window* only.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Cycles in the measurement window.
+    pub window_cycles: u64,
+    /// Leaves that injected at least once over the whole run.
+    pub active_sources: usize,
+    /// Packets injected during the measurement window.
+    pub injected_in_window: u64,
+    /// Packets delivered during the measurement window.
+    pub delivered_in_window: u64,
+    /// Total packets injected (including warm-up).
+    pub injected_total: u64,
+    /// Total packets delivered (including warm-up).
+    pub delivered_total: u64,
+    /// Sum of end-to-end latencies (cycles) of window deliveries.
+    pub latency_sum: u64,
+    /// Max end-to-end latency of a window delivery.
+    pub latency_max: u64,
+    /// Median end-to-end latency of window deliveries.
+    pub latency_p50: u64,
+    /// 95th-percentile end-to-end latency of window deliveries.
+    pub latency_p95: u64,
+    /// 99th-percentile end-to-end latency of window deliveries.
+    pub latency_p99: u64,
+    /// Injections refused because a bounded injection queue was full.
+    pub injection_refusals: u64,
+    /// Packets still in the network when the run ended (0 after a
+    /// successful drain; packet conservation is
+    /// `injected_total == delivered_total + leftover_packets`).
+    pub leftover_packets: u64,
+    /// Offered injection rate (packets/cycle/source) of the workload.
+    pub offered_rate: f64,
+    /// Per-channel busy cycles during the measurement window, indexed by
+    /// channel id. Divide by `window_cycles` for utilization.
+    pub channel_busy: Vec<u64>,
+}
+
+impl SimStats {
+    /// Delivered packets per cycle per active source during the window —
+    /// the *accepted throughput* as a fraction of link rate.
+    pub fn accepted_throughput(&self) -> f64 {
+        if self.window_cycles == 0 || self.active_sources == 0 {
+            return 0.0;
+        }
+        self.delivered_in_window as f64 / (self.window_cycles as f64 * self.active_sources as f64)
+    }
+
+    /// Accepted throughput normalized by the offered rate (1.0 = the fabric
+    /// keeps up with injection).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered_rate <= 0.0 {
+            return 1.0;
+        }
+        (self.accepted_throughput() / self.offered_rate).min(f64::INFINITY)
+    }
+
+    /// Mean end-to-end latency of window deliveries, in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered_in_window == 0 {
+            return 0.0;
+        }
+        self.latency_sum as f64 / self.delivered_in_window as f64
+    }
+
+    /// Utilization of channel `id` over the window, in `[0, 1]`.
+    pub fn channel_utilization(&self, id: usize) -> f64 {
+        if self.window_cycles == 0 {
+            return 0.0;
+        }
+        self.channel_busy.get(id).copied().unwrap_or(0) as f64 / self.window_cycles as f64
+    }
+
+    /// The `k` busiest channels as `(channel index, utilization)`, sorted
+    /// descending — the congestion hot spots.
+    pub fn hottest_channels(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, u64)> = self
+            .channel_busy
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, b)| b > 0)
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v.into_iter()
+            .map(|(i, _)| (i, self.channel_utilization(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            window_cycles: 100,
+            active_sources: 10,
+            delivered_in_window: 800,
+            latency_sum: 4_000,
+            latency_max: 30,
+            offered_rate: 1.0,
+            ..SimStats::default()
+        };
+        assert!((s.accepted_throughput() - 0.8).abs() < 1e-12);
+        assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.mean_latency() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = SimStats::default();
+        assert_eq!(s.accepted_throughput(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.channel_utilization(0), 0.0);
+        assert!(s.hottest_channels(3).is_empty());
+    }
+
+    #[test]
+    fn utilization_and_hotspots() {
+        let s = SimStats {
+            window_cycles: 100,
+            channel_busy: vec![0, 50, 100, 25],
+            ..SimStats::default()
+        };
+        assert_eq!(s.channel_utilization(2), 1.0);
+        assert_eq!(s.channel_utilization(3), 0.25);
+        assert_eq!(s.channel_utilization(99), 0.0);
+        let hot = s.hottest_channels(2);
+        assert_eq!(hot, vec![(2, 1.0), (1, 0.5)]);
+    }
+}

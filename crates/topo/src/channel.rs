@@ -1,0 +1,54 @@
+//! Directed channels: the unit of contention in Lemma 1.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One directed channel from `src` to `dst`.
+///
+/// The paper's nonblocking analysis (Lemma 1) is a per-link, per-direction
+/// audit: an *uplink* (leaf→bottom or bottom→top) and the *downlink* on the
+/// same cable carry independent traffic. We therefore model each cable as two
+/// `Channel`s and never reason about undirected edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Channel {
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Output port index on `src` (dense, per-node).
+    pub src_port: u16,
+    /// Input port index on `dst` (dense, per-node).
+    pub dst_port: u16,
+}
+
+impl Channel {
+    /// The endpoint that is not `node`, if `node` is an endpoint.
+    #[inline]
+    pub fn other(&self, node: NodeId) -> Option<NodeId> {
+        if self.src == node {
+            Some(self.dst)
+        } else if self.dst == node {
+            Some(self.src)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_endpoint() {
+        let ch = Channel {
+            src: NodeId(3),
+            dst: NodeId(7),
+            src_port: 0,
+            dst_port: 1,
+        };
+        assert_eq!(ch.other(NodeId(3)), Some(NodeId(7)));
+        assert_eq!(ch.other(NodeId(7)), Some(NodeId(3)));
+        assert_eq!(ch.other(NodeId(9)), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! Single-switch crossbar: the ideal reference fabric.
+
+use crate::builder::TopologyBuilder;
+use crate::error::TopoError;
+use crate::ids::{ChannelId, NodeId};
+use crate::kind::NodeKind;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A `p`-port crossbar: one switch directly cabled to `p` leaves.
+///
+/// By construction it supports every permutation with no contention — each
+/// leaf link carries traffic of exactly one source (up) or one destination
+/// (down). The paper defines a nonblocking folded-Clos as one that "behaves
+/// like a crossbar switch"; this type is the behavioural yardstick for the
+/// throughput experiments (E11).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Crossbar {
+    ports: usize,
+    topo: Topology,
+}
+
+/// Convenience constructor for [`Crossbar`].
+pub fn crossbar(ports: usize) -> Result<Crossbar, TopoError> {
+    Crossbar::new(ports)
+}
+
+impl Crossbar {
+    /// Build a `ports`-port crossbar.
+    pub fn new(ports: usize) -> Result<Self, TopoError> {
+        if ports == 0 {
+            return Err(TopoError::InvalidParameter {
+                name: "ports",
+                value: 0,
+                requirement: "must be >= 1",
+            });
+        }
+        TopologyBuilder::check_size(ports as u128 + 1, 2 * ports as u128)?;
+        let mut b = TopologyBuilder::with_capacity(ports + 1, 2 * ports);
+        b.add_nodes(NodeKind::Leaf, ports);
+        let sw = b.add_node(NodeKind::Switch { level: 1 });
+        for p in 0..ports {
+            b.connect_bidir(NodeId(p as u32), sw);
+        }
+        Ok(Self {
+            ports,
+            topo: b.finish(),
+        })
+    }
+
+    /// Port (leaf) count.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The single switch node.
+    #[inline]
+    pub fn switch(&self) -> NodeId {
+        NodeId(self.ports as u32)
+    }
+
+    /// Leaf node `p`.
+    #[inline]
+    pub fn leaf(&self, p: usize) -> NodeId {
+        debug_assert!(p < self.ports);
+        NodeId(p as u32)
+    }
+
+    /// Uplink channel of leaf `p`.
+    #[inline]
+    pub fn up_channel(&self, p: usize) -> ChannelId {
+        ChannelId((2 * p) as u32)
+    }
+
+    /// Downlink channel to leaf `p`.
+    #[inline]
+    pub fn down_channel(&self, p: usize) -> ChannelId {
+        ChannelId((2 * p + 1) as u32)
+    }
+
+    /// Underlying flat topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let xb = crossbar(8).unwrap();
+        assert_eq!(xb.ports(), 8);
+        assert_eq!(xb.topology().num_nodes(), 9);
+        assert_eq!(xb.topology().num_channels(), 16);
+        assert_eq!(xb.topology().radix(xb.switch()), 8);
+        xb.topology().audit().unwrap();
+    }
+
+    #[test]
+    fn channel_formulas() {
+        let xb = crossbar(4).unwrap();
+        let t = xb.topology();
+        for p in 0..4 {
+            assert_eq!(t.channel(xb.up_channel(p)).src, xb.leaf(p));
+            assert_eq!(t.channel(xb.down_channel(p)).dst, xb.leaf(p));
+            assert_eq!(t.reverse(xb.up_channel(p)), Some(xb.down_channel(p)));
+        }
+    }
+
+    #[test]
+    fn rejects_zero_ports() {
+        assert!(crossbar(0).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Graphviz DOT export — the executable counterpart of the paper's Fig. 1
+//! and Fig. 2 diagrams.
+
+use crate::topology::Topology;
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name in the emitted `digraph`/`graph` header.
+    pub name: String,
+    /// Collapse reverse-paired channel pairs into a single undirected edge.
+    pub merge_bidir: bool,
+    /// Rank nodes by level (leaves at the bottom), like the paper's figures.
+    pub rank_by_level: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            name: "topology".to_string(),
+            merge_bidir: true,
+            rank_by_level: true,
+        }
+    }
+}
+
+/// Render `topo` as a DOT document.
+pub fn to_dot(topo: &Topology, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let edgeop = if opts.merge_bidir { "--" } else { "->" };
+    let gkind = if opts.merge_bidir { "graph" } else { "digraph" };
+    let _ = writeln!(out, "{gkind} \"{}\" {{", opts.name);
+    let _ = writeln!(out, "  node [shape=box];");
+
+    for id in topo.node_ids() {
+        let kind = topo.kind(id);
+        let (shape, label) = match kind.level() {
+            None => ("ellipse", format!("leaf {}", id.0)),
+            Some(l) => ("box", format!("sw L{l} {}", id.0)),
+        };
+        let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"];", id.0);
+    }
+
+    if opts.rank_by_level {
+        let max = topo.max_level();
+        let leaves: Vec<String> = topo.leaves().map(|id| format!("n{}", id.0)).collect();
+        if !leaves.is_empty() {
+            let _ = writeln!(out, "  {{ rank=max; {}; }}", leaves.join("; "));
+        }
+        for level in 1..=max {
+            let nodes: Vec<String> = topo
+                .switches_at_level(level)
+                .map(|id| format!("n{}", id.0))
+                .collect();
+            if !nodes.is_empty() {
+                let rank = if level == max { "min" } else { "same" };
+                let _ = writeln!(out, "  {{ rank={rank}; {}; }}", nodes.join("; "));
+            }
+        }
+    }
+
+    for cid in topo.channel_ids() {
+        let ch = topo.channel(cid);
+        if opts.merge_bidir {
+            if let Some(rev) = topo.reverse(cid) {
+                // Emit each bidirectional cable once.
+                if rev.0 < cid.0 {
+                    continue;
+                }
+            }
+        }
+        let _ = writeln!(out, "  n{} {edgeop} n{};", ch.src.0, ch.dst.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clos, Ftree};
+
+    #[test]
+    fn ftree_dot_merges_cables() {
+        let ft = Ftree::new(2, 2, 3).unwrap();
+        let dot = to_dot(ft.topology(), &DotOptions::default());
+        assert!(dot.starts_with("graph"));
+        // One edge per cable: 6 leaf cables + 6 uplink cables.
+        assert_eq!(dot.matches(" -- ").count(), 12);
+        assert!(dot.contains("leaf 0"));
+        assert!(dot.contains("sw L2"));
+    }
+
+    #[test]
+    fn clos_dot_is_directed() {
+        let c = Clos::new(2, 2, 2).unwrap();
+        let opts = DotOptions {
+            merge_bidir: false,
+            ..DotOptions::default()
+        };
+        let dot = to_dot(c.topology(), &opts);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches(" -> ").count(), c.topology().num_channels());
+    }
+
+    #[test]
+    fn rank_lines_present() {
+        let ft = Ftree::new(2, 2, 3).unwrap();
+        let dot = to_dot(ft.topology(), &DotOptions::default());
+        assert!(dot.contains("rank=max"));
+        assert!(dot.contains("rank=min"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Node classification: leaves (communication endpoints) vs switches.
+
+use serde::{Deserialize, Serialize};
+
+/// What a node in the topology is.
+///
+/// The paper's `ftree(n+m, r)` has "two layers of switches and one layer of
+/// leaf nodes"; general XGFTs have `h` switch levels. We store the level so
+/// routing and rendering code can distinguish bottom/top switches without
+/// re-deriving structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A communication source/destination ("processing node").
+    Leaf,
+    /// A switch at the given level; level 1 is adjacent to leaves, higher
+    /// levels are further up the tree. Unidirectional Clos stages use levels
+    /// 1 (input), 2 (middle), 3 (output).
+    Switch {
+        /// Tree level, starting at 1 for leaf-adjacent switches.
+        level: u8,
+    },
+}
+
+impl NodeKind {
+    /// True for [`NodeKind::Leaf`].
+    #[inline]
+    pub fn is_leaf(self) -> bool {
+        matches!(self, NodeKind::Leaf)
+    }
+
+    /// True for any switch.
+    #[inline]
+    pub fn is_switch(self) -> bool {
+        matches!(self, NodeKind::Switch { .. })
+    }
+
+    /// Switch level, or `None` for leaves.
+    #[inline]
+    pub fn level(self) -> Option<u8> {
+        match self {
+            NodeKind::Leaf => None,
+            NodeKind::Switch { level } => Some(level),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(NodeKind::Leaf.is_leaf());
+        assert!(!NodeKind::Leaf.is_switch());
+        assert_eq!(NodeKind::Leaf.level(), None);
+
+        let sw = NodeKind::Switch { level: 2 };
+        assert!(sw.is_switch());
+        assert!(!sw.is_leaf());
+        assert_eq!(sw.level(), Some(2));
+    }
+}

@@ -1,0 +1,187 @@
+//! Structural properties: bisection, diameter, and per-level census used by
+//! the cost-model experiments.
+
+use crate::ids::NodeId;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Census of a topology: element counts and radix distribution per level.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructureReport {
+    /// Number of leaf nodes.
+    pub leaves: usize,
+    /// Switches per level, keyed by level.
+    pub switches_per_level: BTreeMap<u8, usize>,
+    /// Number of physical cables (bidirectional links counted once,
+    /// unidirectional channels counted once each).
+    pub cables: usize,
+    /// Radix histogram over switches: radix → count.
+    pub radix_histogram: BTreeMap<usize, usize>,
+}
+
+impl StructureReport {
+    /// Build the census for `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        let mut switches_per_level = BTreeMap::new();
+        let mut radix_histogram = BTreeMap::new();
+        let mut leaves = 0usize;
+        for id in topo.node_ids() {
+            match topo.kind(id).level() {
+                None => leaves += 1,
+                Some(l) => {
+                    *switches_per_level.entry(l).or_insert(0) += 1;
+                    *radix_histogram.entry(topo.radix(id)).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut cables = 0usize;
+        for c in topo.channel_ids() {
+            match topo.reverse(c) {
+                Some(rev) if rev.0 < c.0 => {} // counted at the lower id
+                _ => cables += 1,
+            }
+        }
+        Self {
+            leaves,
+            switches_per_level,
+            cables,
+            radix_histogram,
+        }
+    }
+
+    /// Total switch count across levels.
+    pub fn total_switches(&self) -> usize {
+        self.switches_per_level.values().sum()
+    }
+
+    /// Maximum switch radix (`0` if there are no switches).
+    pub fn max_radix(&self) -> usize {
+        self.radix_histogram.keys().copied().max().unwrap_or(0)
+    }
+}
+
+/// Number of directed channels crossing the leaf-index bisection: leaves are
+/// split into low/high halves by index and we count channels whose removal
+/// separates switches serving mostly-low from mostly-high leaves.
+///
+/// For a two-level `ftree(n+m, r)` this evaluates the classical full
+/// bisection: `m * r / 2` cables cross when bottoms are split in half, so
+/// full bisection bandwidth relative to `r·n/2` leaves needs `m >= n`.
+/// We compute it structurally: assign each switch the side holding the
+/// majority of its descendant leaves and count cut channels one way.
+pub fn bisection_channels(topo: &Topology) -> usize {
+    let leaves: Vec<NodeId> = topo.leaves().collect();
+    if leaves.len() < 2 {
+        return 0;
+    }
+    let half = leaves.len() / 2;
+    // side[node] in {0, 1}: leaves by index halves; switches by majority of
+    // leaf descendants (computed via BFS from each leaf, counting reachable
+    // switches — in fat trees every switch reachable on the up-path serves
+    // that leaf).
+    let mut low_count = vec![0usize; topo.num_nodes()];
+    let mut high_count = vec![0usize; topo.num_nodes()];
+    for (i, &leaf) in leaves.iter().enumerate() {
+        let dist = topo.bfs_distances(leaf);
+        for id in topo.node_ids() {
+            if topo.kind(id).is_switch() && dist[id.index()] != u32::MAX {
+                if i < half {
+                    low_count[id.index()] += 1;
+                } else {
+                    high_count[id.index()] += 1;
+                }
+            }
+        }
+    }
+    let side = |id: NodeId| -> usize {
+        if topo.kind(id).is_leaf() {
+            let pos = leaves.iter().position(|&l| l == id).unwrap();
+            usize::from(pos >= half)
+        } else {
+            usize::from(high_count[id.index()] > low_count[id.index()])
+        }
+    };
+    topo.channel_ids()
+        .filter(|&c| {
+            let ch = topo.channel(c);
+            side(ch.src) == 0 && side(ch.dst) == 1
+        })
+        .count()
+}
+
+/// Diameter in hops over leaves (longest shortest leaf-to-leaf path), or
+/// `None` if some leaf pair is disconnected.
+pub fn diameter(topo: &Topology) -> Option<u32> {
+    let leaves: Vec<NodeId> = topo.leaves().collect();
+    let mut best = 0;
+    for &s in &leaves {
+        let dist = topo.bfs_distances(s);
+        for &d in &leaves {
+            if s == d {
+                continue;
+            }
+            let x = dist[d.index()];
+            if x == u32::MAX {
+                return None;
+            }
+            best = best.max(x);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{crossbar, kary_ntree, Ftree};
+
+    #[test]
+    fn census_of_ftree() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let rep = StructureReport::new(ft.topology());
+        assert_eq!(rep.leaves, 10);
+        assert_eq!(rep.switches_per_level[&1], 5);
+        assert_eq!(rep.switches_per_level[&2], 4);
+        assert_eq!(rep.total_switches(), 9);
+        assert_eq!(rep.cables, 10 + 20);
+        assert_eq!(rep.radix_histogram[&6], 5); // bottoms: n+m = 6 ports
+        assert_eq!(rep.radix_histogram[&5], 4); // tops: r = 5 ports
+        assert_eq!(rep.max_radix(), 6);
+    }
+
+    #[test]
+    fn crossbar_diameter() {
+        let xb = crossbar(6).unwrap();
+        assert_eq!(diameter(xb.topology()), Some(2));
+    }
+
+    #[test]
+    fn ftree_diameter() {
+        let ft = Ftree::new(2, 2, 3).unwrap();
+        assert_eq!(diameter(ft.topology()), Some(4));
+    }
+
+    #[test]
+    fn kary_diameter() {
+        let t = kary_ntree(2, 3).unwrap();
+        assert_eq!(diameter(t.topology()), Some(6));
+    }
+
+    #[test]
+    fn bisection_of_balanced_ftree() {
+        // ftree(2+2, 4): split bottoms 2/2; each of the 2 tops has 2 cables
+        // to each side -> 2 tops * 2 cables... cut one way counts channels
+        // from low side to high side: tops sit on one side, so cut = m *
+        // (r/2) = 4 channels one way.
+        let ft = Ftree::new(2, 2, 4).unwrap();
+        let cut = bisection_channels(ft.topology());
+        assert_eq!(cut, 4);
+    }
+
+    #[test]
+    fn bisection_single_leaf_is_zero() {
+        let xb = crossbar(1).unwrap();
+        assert_eq!(bisection_channels(xb.topology()), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! The flat topology representation shared by all network families.
+
+use crate::channel::Channel;
+use crate::error::TopoError;
+use crate::ids::{ChannelId, NodeId};
+use crate::kind::NodeKind;
+use serde::{Deserialize, Serialize};
+
+/// A directed multigraph of leaves and switches with CSR adjacency.
+///
+/// Construct through [`crate::TopologyBuilder`] or one of the family
+/// builders ([`crate::Ftree`], [`crate::Clos`], [`crate::Xgft`], …).
+///
+/// Channels are directed; for bidirectional networks every channel has a
+/// paired reverse channel retrievable with [`Topology::reverse`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    pub(crate) kinds: Vec<NodeKind>,
+    pub(crate) channels: Vec<Channel>,
+    /// CSR row offsets into `out_chan`, indexed by node, length `nodes + 1`.
+    pub(crate) out_first: Vec<u32>,
+    /// Outgoing channels of each node, ordered by source port.
+    pub(crate) out_chan: Vec<ChannelId>,
+    /// CSR row offsets into `in_chan`, indexed by node, length `nodes + 1`.
+    pub(crate) in_first: Vec<u32>,
+    /// Incoming channels of each node, ordered by destination port.
+    pub(crate) in_chan: Vec<ChannelId>,
+    /// Reverse channel of each channel (INVALID for unidirectional links).
+    pub(crate) rev: Vec<ChannelId>,
+}
+
+impl Topology {
+    /// Number of nodes (leaves plus switches).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of directed channels.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Kind of node `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.kinds[id.index()]
+    }
+
+    /// Checked variant of [`Topology::kind`].
+    pub fn try_kind(&self, id: NodeId) -> Result<NodeKind, TopoError> {
+        self.kinds
+            .get(id.index())
+            .copied()
+            .ok_or(TopoError::NodeOutOfRange {
+                node: id.index(),
+                num_nodes: self.num_nodes(),
+            })
+    }
+
+    /// The channel record for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or the sentinel.
+    #[inline]
+    pub fn channel(&self, id: ChannelId) -> Channel {
+        self.channels[id.index()]
+    }
+
+    /// Directed channels leaving `node`, in source-port order.
+    #[inline]
+    pub fn out_channels(&self, node: NodeId) -> &[ChannelId] {
+        let lo = self.out_first[node.index()] as usize;
+        let hi = self.out_first[node.index() + 1] as usize;
+        &self.out_chan[lo..hi]
+    }
+
+    /// Directed channels entering `node`, in destination-port order.
+    #[inline]
+    pub fn in_channels(&self, node: NodeId) -> &[ChannelId] {
+        let lo = self.in_first[node.index()] as usize;
+        let hi = self.in_first[node.index() + 1] as usize;
+        &self.in_chan[lo..hi]
+    }
+
+    /// The paired reverse channel, if the link is bidirectional.
+    #[inline]
+    pub fn reverse(&self, ch: ChannelId) -> Option<ChannelId> {
+        let r = self.rev[ch.index()];
+        r.is_valid().then_some(r)
+    }
+
+    /// Find the (first) channel from `src` to `dst`.
+    pub fn channel_between(&self, src: NodeId, dst: NodeId) -> Result<ChannelId, TopoError> {
+        self.out_channels(src)
+            .iter()
+            .copied()
+            .find(|&c| self.channel(c).dst == dst)
+            .ok_or(TopoError::NoChannel {
+                src: src.index(),
+                dst: dst.index(),
+            })
+    }
+
+    /// All node ids, in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// All channel ids, in index order.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        (0..self.channels.len() as u32).map(ChannelId)
+    }
+
+    /// All leaf node ids.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&id| self.kind(id).is_leaf())
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_leaf()).count()
+    }
+
+    /// All switches at a given level.
+    pub fn switches_at_level(&self, level: u8) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids()
+            .filter(move |&id| self.kind(id).level() == Some(level))
+    }
+
+    /// Largest switch level present (0 if there are no switches).
+    pub fn max_level(&self) -> u8 {
+        self.kinds.iter().filter_map(|k| k.level()).max().unwrap_or(0)
+    }
+
+    /// Total port count (in + out, counting each bidirectional cable once
+    /// per endpoint) of `node`. For switches this is the radix.
+    pub fn radix(&self, node: NodeId) -> usize {
+        // Bidirectional links contribute one port that appears in both the
+        // in and out adjacency; count distinct cables.
+        let out = self.out_channels(node).len();
+        let ins = self.in_channels(node).len();
+        let paired_out = self
+            .out_channels(node)
+            .iter()
+            .filter(|&&c| self.reverse(c).is_some())
+            .count();
+        // Each bidirectional cable contributes one out channel and one in
+        // channel that are the same physical port.
+        out + ins - paired_out
+    }
+
+    /// Breadth-first distances (in hops) from `start` following directed
+    /// channels. Unreachable nodes get `u32::MAX`.
+    pub fn bfs_distances(&self, start: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start.index()] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            for &c in self.out_channels(u) {
+                let v = self.channel(c).dst;
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Validate internal invariants (CSR consistency, port density,
+    /// reverse-pairing involution). Intended for tests and debug assertions.
+    pub fn audit(&self) -> Result<(), String> {
+        if self.out_first.len() != self.num_nodes() + 1 {
+            return Err("out_first length mismatch".into());
+        }
+        if self.in_first.len() != self.num_nodes() + 1 {
+            return Err("in_first length mismatch".into());
+        }
+        if self.rev.len() != self.num_channels() {
+            return Err("rev length mismatch".into());
+        }
+        for (i, ch) in self.channels.iter().enumerate() {
+            if ch.src.index() >= self.num_nodes() || ch.dst.index() >= self.num_nodes() {
+                return Err(format!("channel {i} has endpoint out of range"));
+            }
+            let r = self.rev[i];
+            if r.is_valid() {
+                let rc = self.channel(r);
+                if rc.src != ch.dst || rc.dst != ch.src {
+                    return Err(format!("channel {i} reverse endpoints mismatch"));
+                }
+                if self.rev[r.index()] != ChannelId(i as u32) {
+                    return Err(format!("reverse pairing of channel {i} is not an involution"));
+                }
+            }
+        }
+        for node in self.node_ids() {
+            for (slot, &c) in self.out_channels(node).iter().enumerate() {
+                let ch = self.channel(c);
+                if ch.src != node {
+                    return Err(format!("out adjacency of {node} lists foreign channel"));
+                }
+                if ch.src_port as usize != slot {
+                    return Err(format!("out ports of {node} not dense/ordered"));
+                }
+            }
+            for (slot, &c) in self.in_channels(node).iter().enumerate() {
+                let ch = self.channel(c);
+                if ch.dst != node {
+                    return Err(format!("in adjacency of {node} lists foreign channel"));
+                }
+                if ch.dst_port as usize != slot {
+                    return Err(format!("in ports of {node} not dense/ordered"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::TopologyBuilder;
+    use crate::ids::NodeId;
+    use crate::kind::NodeKind;
+
+    fn tiny() -> crate::Topology {
+        // leaf(0) <-> switch(1) <-> leaf(2), plus a unidirectional 1 -> 0.
+        let mut b = TopologyBuilder::new();
+        let l0 = b.add_node(NodeKind::Leaf);
+        let s = b.add_node(NodeKind::Switch { level: 1 });
+        let l1 = b.add_node(NodeKind::Leaf);
+        b.connect_bidir(l0, s);
+        b.connect_bidir(s, l1);
+        b.connect_uni(s, l0);
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_kinds() {
+        let t = tiny();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_channels(), 5);
+        assert_eq!(t.num_leaves(), 2);
+        assert!(t.kind(NodeId(1)).is_switch());
+        assert_eq!(t.max_level(), 1);
+        t.audit().unwrap();
+    }
+
+    #[test]
+    fn adjacency_and_reverse() {
+        let t = tiny();
+        let s = NodeId(1);
+        assert_eq!(t.out_channels(s).len(), 3); // to l0 (bidir), to l1 (bidir), to l0 (uni)
+        assert_eq!(t.in_channels(s).len(), 2);
+        let up = t.channel_between(NodeId(0), s).unwrap();
+        let down = t.reverse(up).unwrap();
+        assert_eq!(t.channel(down).dst, NodeId(0));
+        assert_eq!(t.reverse(down), Some(up));
+    }
+
+    #[test]
+    fn channel_between_missing() {
+        let t = tiny();
+        assert!(t.channel_between(NodeId(0), NodeId(2)).is_err());
+    }
+
+    #[test]
+    fn bfs() {
+        let t = tiny();
+        let d = t.bfs_distances(NodeId(0));
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn radix_counts_cables() {
+        let t = tiny();
+        // switch: 2 bidirectional cables + 1 unidirectional out = 3 ports.
+        assert_eq!(t.radix(NodeId(1)), 3);
+        // leaf 0: 1 bidirectional cable + 1 unidirectional in = 2.
+        assert_eq!(t.radix(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn try_kind_out_of_range() {
+        let t = tiny();
+        assert!(t.try_kind(NodeId(99)).is_err());
+        assert!(t.try_kind(NodeId(2)).is_ok());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for traffic-pattern construction.
+
+use std::fmt;
+
+/// Errors produced when building or validating communication patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrafficError {
+    /// A leaf port index was `>= ports`.
+    PortOutOfRange {
+        /// The offending index.
+        port: u32,
+        /// The number of ports in the pattern's universe.
+        ports: u32,
+    },
+    /// A leaf appears as the source of two SD pairs (violates Definition 1).
+    DuplicateSource {
+        /// The offending source port.
+        port: u32,
+    },
+    /// A leaf appears as the destination of two SD pairs (violates
+    /// Definition 1).
+    DuplicateDestination {
+        /// The offending destination port.
+        port: u32,
+    },
+    /// A generator's structural requirement was not met (e.g. bit-reversal
+    /// needs a power-of-two port count).
+    Unsupported {
+        /// Which generator failed.
+        generator: &'static str,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::PortOutOfRange { port, ports } => {
+                write!(f, "port {port} out of range (ports = {ports})")
+            }
+            TrafficError::DuplicateSource { port } => {
+                write!(f, "port {port} is the source of more than one SD pair")
+            }
+            TrafficError::DuplicateDestination { port } => {
+                write!(f, "port {port} is the destination of more than one SD pair")
+            }
+            TrafficError::Unsupported { generator, reason } => {
+                write!(f, "{generator}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            TrafficError::PortOutOfRange { port: 9, ports: 4 }.to_string(),
+            "port 9 out of range (ports = 4)"
+        );
+        assert!(TrafficError::DuplicateSource { port: 2 }
+            .to_string()
+            .contains("source"));
+        assert!(TrafficError::DuplicateDestination { port: 2 }
+            .to_string()
+            .contains("destination"));
+    }
+}

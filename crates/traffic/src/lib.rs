@@ -1,0 +1,34 @@
+//! # ftclos-traffic — communication patterns for interconnect evaluation
+//!
+//! Implements the paper's traffic model (Section III): *SD pairs* and
+//! *permutation communications* (Definition 1), plus the pattern generators
+//! used by the experiments:
+//!
+//! * [`Permutation`] — a validated set of [`SdPair`]s in which every leaf is
+//!   the source of at most one pair and the destination of at most one pair
+//!   (Property 1 is enforced by construction).
+//! * [`patterns`] — classic structured permutations (identity, shift,
+//!   transpose, bit-reversal, bit-complement, tornado, neighbor) and
+//!   seeded random (partial) permutations.
+//! * [`enumerate`] — exhaustive enumeration of all full permutations for
+//!   tiny port counts and of all two-pair patterns. By the paper's Lemma 1,
+//!   a single-path deterministic routing blocks some permutation **iff** it
+//!   blocks a two-pair pattern, so [`enumerate::TwoPairs`] is a *complete*
+//!   blocking test for deterministic routing.
+//! * [`adversarial`] — congestion-maximizing permutations against `d mod k`
+//!   style deterministic routings.
+//!
+//! Leaves are identified by dense port indices `0..ports`; every topology in
+//! `ftclos-topo` assigns leaves the first node ids, so a port index equals
+//! the leaf's node-id index.
+
+pub mod adversarial;
+pub mod enumerate;
+pub mod error;
+pub mod patterns;
+pub mod permutation;
+pub mod sdpair;
+
+pub use error::TrafficError;
+pub use permutation::Permutation;
+pub use sdpair::SdPair;

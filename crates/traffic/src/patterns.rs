@@ -1,0 +1,281 @@
+//! Structured and random permutation generators.
+//!
+//! The structured patterns are the standard interconnection-network suite
+//! (shift, transpose, bit-reversal, bit-complement, tornado, neighbor);
+//! random permutations use a seeded Fisher-Yates shuffle so every experiment
+//! is reproducible.
+
+use crate::error::TrafficError;
+use crate::permutation::Permutation;
+use crate::sdpair::SdPair;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Identity: every leaf sends to itself. Trivially contention-free.
+pub fn identity(ports: u32) -> Permutation {
+    Permutation::from_map(&(0..ports).collect::<Vec<_>>()).expect("identity is a bijection")
+}
+
+/// Cyclic shift by `k`: `d = (s + k) mod ports`.
+pub fn shift(ports: u32, k: u32) -> Permutation {
+    let map: Vec<u32> = (0..ports).map(|s| (s + k) % ports).collect();
+    Permutation::from_map(&map).expect("shift is a bijection")
+}
+
+/// Neighbor exchange: even/odd port pairs swap (`0<->1, 2<->3, …`).
+/// Requires an even port count.
+pub fn neighbor(ports: u32) -> Result<Permutation, TrafficError> {
+    if !ports.is_multiple_of(2) {
+        return Err(TrafficError::Unsupported {
+            generator: "neighbor",
+            reason: format!("needs an even port count, got {ports}"),
+        });
+    }
+    let map: Vec<u32> = (0..ports).map(|s| s ^ 1).collect();
+    Ok(Permutation::from_map(&map).expect("neighbor is a bijection"))
+}
+
+/// Matrix transpose over a `rows x cols` layout: `s = a·cols + b` sends to
+/// `d = b·rows + a`. Requires `ports == rows * cols`.
+pub fn transpose(rows: u32, cols: u32) -> Permutation {
+    let ports = rows * cols;
+    let map: Vec<u32> = (0..ports)
+        .map(|s| {
+            let (a, b) = (s / cols, s % cols);
+            b * rows + a
+        })
+        .collect();
+    Permutation::from_map(&map).expect("transpose is a bijection")
+}
+
+/// Bit reversal: `d` is `s` with its `log2(ports)` bits reversed.
+/// Requires a power-of-two port count.
+pub fn bit_reversal(ports: u32) -> Result<Permutation, TrafficError> {
+    if !ports.is_power_of_two() {
+        return Err(TrafficError::Unsupported {
+            generator: "bit_reversal",
+            reason: format!("needs a power-of-two port count, got {ports}"),
+        });
+    }
+    let bits = ports.trailing_zeros();
+    let map: Vec<u32> = (0..ports)
+        .map(|s| {
+            if bits == 0 {
+                s
+            } else {
+                s.reverse_bits() >> (32 - bits)
+            }
+        })
+        .collect();
+    Ok(Permutation::from_map(&map).expect("bit reversal is a bijection"))
+}
+
+/// Bit complement: `d = !s` over `log2(ports)` bits. Requires a power-of-two
+/// port count.
+pub fn bit_complement(ports: u32) -> Result<Permutation, TrafficError> {
+    if !ports.is_power_of_two() {
+        return Err(TrafficError::Unsupported {
+            generator: "bit_complement",
+            reason: format!("needs a power-of-two port count, got {ports}"),
+        });
+    }
+    let map: Vec<u32> = (0..ports).map(|s| s ^ (ports - 1)).collect();
+    Ok(Permutation::from_map(&map).expect("bit complement is a bijection"))
+}
+
+/// Tornado: `d = (s + ceil(ports/2) - 1) mod ports` — the classic
+/// adversarial pattern for rings, included for workload diversity.
+pub fn tornado(ports: u32) -> Permutation {
+    let half = ports.div_ceil(2).saturating_sub(1);
+    shift(ports, half)
+}
+
+/// Uniform random full permutation (Fisher-Yates with the supplied RNG).
+pub fn random_full<R: Rng>(ports: u32, rng: &mut R) -> Permutation {
+    let mut map: Vec<u32> = (0..ports).collect();
+    map.shuffle(rng);
+    Permutation::from_map(&map).expect("shuffle is a bijection")
+}
+
+/// Random *partial* permutation: each source participates with probability
+/// `density`, and participating sources get distinct random destinations.
+pub fn random_partial<R: Rng>(ports: u32, density: f64, rng: &mut R) -> Permutation {
+    let sources: Vec<u32> = (0..ports).filter(|_| rng.gen_bool(density.clamp(0.0, 1.0))).collect();
+    let mut dests: Vec<u32> = (0..ports).collect();
+    dests.shuffle(rng);
+    Permutation::from_pairs(
+        ports,
+        sources
+            .iter()
+            .zip(dests.iter())
+            .map(|(&s, &d)| SdPair::new(s, d)),
+    )
+    .expect("distinct sources zip distinct destinations")
+}
+
+/// Random full permutation with no fixed points (no `src == dst`), built by
+/// re-drawing until derangement; for `ports >= 2` this takes ~e draws in
+/// expectation.
+pub fn random_derangement<R: Rng>(ports: u32, rng: &mut R) -> Permutation {
+    assert!(ports >= 2, "derangement needs at least two ports");
+    loop {
+        let p = random_full(ports, rng);
+        if p.pairs().iter().all(|pair| !pair.is_self()) {
+            return p;
+        }
+    }
+}
+
+/// The named structured patterns, for sweep harnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StructuredPattern {
+    /// [`identity`]
+    Identity,
+    /// [`shift`] with `k = 1`
+    Shift1,
+    /// [`shift`] with `k = ports/2`
+    HalfShift,
+    /// [`tornado`]
+    Tornado,
+    /// [`neighbor`]
+    Neighbor,
+    /// [`bit_reversal`]
+    BitReversal,
+    /// [`bit_complement`]
+    BitComplement,
+    /// [`transpose`] over the squarest factorization
+    Transpose,
+}
+
+impl StructuredPattern {
+    /// All variants.
+    pub const ALL: [StructuredPattern; 8] = [
+        StructuredPattern::Identity,
+        StructuredPattern::Shift1,
+        StructuredPattern::HalfShift,
+        StructuredPattern::Tornado,
+        StructuredPattern::Neighbor,
+        StructuredPattern::BitReversal,
+        StructuredPattern::BitComplement,
+        StructuredPattern::Transpose,
+    ];
+
+    /// Generate the pattern for `ports` leaves; returns `None` when the
+    /// structural requirement (parity, power of two) is unmet.
+    pub fn generate(self, ports: u32) -> Option<Permutation> {
+        match self {
+            StructuredPattern::Identity => Some(identity(ports)),
+            StructuredPattern::Shift1 => Some(shift(ports, 1)),
+            StructuredPattern::HalfShift => Some(shift(ports, ports / 2)),
+            StructuredPattern::Tornado => Some(tornado(ports)),
+            StructuredPattern::Neighbor => neighbor(ports).ok(),
+            StructuredPattern::BitReversal => bit_reversal(ports).ok(),
+            StructuredPattern::BitComplement => bit_complement(ports).ok(),
+            StructuredPattern::Transpose => {
+                let rows = (1..=ports).rev().find(|r| ports.is_multiple_of(*r) && *r * *r <= ports)?;
+                Some(transpose(rows, ports / rows))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn identity_and_shift() {
+        let p = identity(5);
+        assert!(p.pairs().iter().all(|x| x.is_self()));
+        let s = shift(5, 2);
+        assert_eq!(s.dst_of(4), Some(1));
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn neighbor_pairs_swap() {
+        let p = neighbor(6).unwrap();
+        assert_eq!(p.dst_of(0), Some(1));
+        assert_eq!(p.dst_of(1), Some(0));
+        assert!(neighbor(5).is_err());
+    }
+
+    #[test]
+    fn transpose_is_involution_on_square() {
+        let p = transpose(4, 4);
+        for s in 0..16 {
+            let d = p.dst_of(s).unwrap();
+            assert_eq!(p.dst_of(d), Some(s));
+        }
+    }
+
+    #[test]
+    fn bit_reversal_small() {
+        let p = bit_reversal(8).unwrap();
+        assert_eq!(p.dst_of(0b001), Some(0b100));
+        assert_eq!(p.dst_of(0b110), Some(0b011));
+        assert!(bit_reversal(6).is_err());
+        // Degenerate single-port case.
+        let one = bit_reversal(1).unwrap();
+        assert_eq!(one.dst_of(0), Some(0));
+    }
+
+    #[test]
+    fn bit_complement_small() {
+        let p = bit_complement(8).unwrap();
+        assert_eq!(p.dst_of(0), Some(7));
+        assert_eq!(p.dst_of(5), Some(2));
+        assert!(bit_complement(12).is_err());
+    }
+
+    #[test]
+    fn tornado_is_near_half_shift() {
+        let p = tornado(8);
+        assert_eq!(p.dst_of(0), Some(3));
+        let p = tornado(7);
+        assert_eq!(p.dst_of(0), Some(3));
+    }
+
+    #[test]
+    fn random_full_is_full_and_seeded() {
+        let a = random_full(32, &mut rng());
+        let b = random_full(32, &mut rng());
+        assert!(a.is_full());
+        assert_eq!(a, b, "same seed, same permutation");
+    }
+
+    #[test]
+    fn random_partial_respects_density() {
+        let p = random_partial(1000, 0.3, &mut rng());
+        assert!(p.len() > 200 && p.len() < 400, "len = {}", p.len());
+        let empty = random_partial(100, 0.0, &mut rng());
+        assert!(empty.is_empty());
+        let full = random_partial(100, 1.0, &mut rng());
+        assert!(full.is_full());
+    }
+
+    #[test]
+    fn derangement_has_no_fixed_points() {
+        let p = random_derangement(16, &mut rng());
+        assert!(p.pairs().iter().all(|x| !x.is_self()));
+        assert!(p.is_full());
+    }
+
+    #[test]
+    fn structured_generation_matrix() {
+        // Power-of-two even count: everything generates.
+        for pat in StructuredPattern::ALL {
+            assert!(pat.generate(16).is_some(), "{pat:?} at 16 ports");
+        }
+        // Odd count: parity/pow2-restricted patterns are None.
+        assert!(StructuredPattern::Neighbor.generate(9).is_none());
+        assert!(StructuredPattern::BitReversal.generate(9).is_none());
+        assert!(StructuredPattern::BitComplement.generate(9).is_none());
+        assert!(StructuredPattern::Transpose.generate(9).is_some());
+    }
+}

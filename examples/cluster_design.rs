@@ -1,0 +1,77 @@
+//! Cluster design study: given a commodity switch radix, compare every
+//! fabric you could build with it — the workflow of the paper's Table I and
+//! Discussion section.
+//!
+//! ```text
+//! cargo run --release --example cluster_design -- [radix]   # default 36
+//! ```
+
+use ftclos::analysis::TextTable;
+use ftclos::core::construct::NonblockingFtree;
+use ftclos::core::design;
+use ftclos::core::verify::is_nonblocking_deterministic;
+
+fn main() {
+    let radix: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(36);
+    println!("design study for {radix}-port switches\n");
+
+    let mut table = TextTable::new([
+        "design",
+        "ports",
+        "switches",
+        "sw/port",
+        "permutation guarantee",
+    ]);
+
+    if let Some(d) = design::nonblocking_two_level(radix) {
+        table.row([
+            format!("nonblocking ftree({}+{}²,·) 2-level", d.n, d.n),
+            d.ports.to_string(),
+            d.switches.to_string(),
+            format!("{:.3}", d.switches_per_port()),
+            "any permutation, zero contention".to_string(),
+        ]);
+    }
+    if let Some(d) = design::nonblocking_three_level(radix) {
+        table.row([
+            "nonblocking 3-level (recursive)".to_string(),
+            d.ports.to_string(),
+            d.switches.to_string(),
+            format!("{:.3}", d.switches_per_port()),
+            "any permutation, zero contention".to_string(),
+        ]);
+    }
+    if let Some(d) = design::mport_two_tree(radix) {
+        table.row([
+            format!("FT({radix},2) m-port 2-tree"),
+            d.ports.to_string(),
+            d.switches.to_string(),
+            format!("{:.3}", d.switches_per_port()),
+            "rearrangeable only (blocks w/ distributed control)".to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Build and verify the recommended nonblocking design end to end.
+    if let Some(d) = design::nonblocking_two_level(radix) {
+        println!("\nbuilding the recommended design (n = {}):", d.n);
+        let fabric = NonblockingFtree::same_radix(d.n).expect("design is feasible");
+        println!(
+            "  built: {} ports from {} x {}-port switches",
+            fabric.ports(),
+            fabric.switches(),
+            radix
+        );
+        let ok = is_nonblocking_deterministic(&fabric.router());
+        println!(
+            "  complete Lemma 1 audit over all SD pairs: {}",
+            if ok { "PASS (nonblocking)" } else { "FAIL" }
+        );
+        assert!(ok);
+    } else {
+        println!("\nradix {radix} is too small for even n = 1 (need >= 2 ports)");
+    }
+}
