@@ -69,7 +69,9 @@ mod tests {
 
     #[test]
     fn exact_power_law() {
-        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * (i as f64).powf(1.7))).collect();
+        let pts: Vec<(f64, f64)> = (1..10)
+            .map(|i| (i as f64, 3.0 * (i as f64).powf(1.7)))
+            .collect();
         let fit = PowerFit::fit(&pts).unwrap();
         assert!((fit.b - 1.7).abs() < 1e-9);
         assert!((fit.a - 3.0).abs() < 1e-9);

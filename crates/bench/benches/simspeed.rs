@@ -25,8 +25,7 @@ fn bench_sim(c: &mut Criterion) {
         group.throughput(Throughput::Elements(cfg.total_cycles()));
         group.bench_with_input(BenchmarkId::new("ftree_full_load", ports), &perm, |b, p| {
             b.iter(|| {
-                let mut sim =
-                    Simulator::new(ft.topology(), cfg, Policy::from_single_path(&router));
+                let mut sim = Simulator::new(ft.topology(), cfg, Policy::from_single_path(&router));
                 black_box(sim.run(&Workload::permutation(p, 1.0), 7))
             })
         });

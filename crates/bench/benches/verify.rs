@@ -30,19 +30,15 @@ fn bench_verify(c: &mut Criterion) {
         // A blocking router: search succeeds early.
         let ft = Ftree::new(n, n, r).unwrap();
         let dmodk = DModK::new(&ft);
-        group.bench_with_input(
-            BenchmarkId::new("finds_witness", n * r),
-            &dmodk,
-            |b, rt| b.iter(|| black_box(find_blocking_two_pair(rt))),
-        );
+        group.bench_with_input(BenchmarkId::new("finds_witness", n * r), &dmodk, |b, rt| {
+            b.iter(|| black_box(find_blocking_two_pair(rt)))
+        });
         // A nonblocking router: search must scan everything.
         let ft_nb = Ftree::new(n, n * n, r).unwrap();
         let yuan = YuanDeterministic::new(&ft_nb).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("exhausts_clean", n * r),
-            &yuan,
-            |b, rt| b.iter(|| black_box(find_blocking_two_pair(rt))),
-        );
+        group.bench_with_input(BenchmarkId::new("exhausts_clean", n * r), &yuan, |b, rt| {
+            b.iter(|| black_box(find_blocking_two_pair(rt)))
+        });
     }
     group.finish();
 }

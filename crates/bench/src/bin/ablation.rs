@@ -20,8 +20,17 @@ use rand::SeedableRng;
 fn main() {
     let mut all_ok = true;
 
-    banner("A1", "Fig. 4 line (7): greedy largest-subset vs first-fit partitions");
-    let mut table = TextTable::new(["n", "r", "greedy tops (worst)", "first-fit tops (worst)", "saving"]);
+    banner(
+        "A1",
+        "Fig. 4 line (7): greedy largest-subset vs first-fit partitions",
+    );
+    let mut table = TextTable::new([
+        "n",
+        "r",
+        "greedy tops (worst)",
+        "first-fit tops (worst)",
+        "saving",
+    ]);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED);
     for (n, r) in [(4usize, 16usize), (6, 36), (8, 64)] {
         let ft = Ftree::new(n, 1, r).unwrap();
@@ -63,7 +72,10 @@ fn main() {
         ..SimConfig::default()
     };
 
-    banner("A2", "queue-adaptive tie-breaking: random vs deterministic lowest-index");
+    banner(
+        "A2",
+        "queue-adaptive tie-breaking: random vs deterministic lowest-index",
+    );
     let ft = Ftree::new(6, 6, 12).unwrap(); // FT(12,2)-shaped fabric
     let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED + 2);
@@ -80,21 +92,33 @@ fn main() {
     .run(&w, SEED)
     .accepted_throughput();
     result_line("random tie-break throughput", format!("{thr_random:.3}"));
-    result_line("lowest-index tie-break throughput", format!("{thr_first:.3}"));
+    result_line(
+        "lowest-index tie-break throughput",
+        format!("{thr_first:.3}"),
+    );
     all_ok &= verdict(
         thr_random > thr_first + 0.1,
         "random tie-breaking avoids the herding collapse",
     );
 
-    banner("A3", "oblivious spreading: per-packet random vs round-robin");
+    banner(
+        "A3",
+        "oblivious spreading: per-packet random vs round-robin",
+    );
     let thr_rand_spread = Simulator::new(ft.topology(), cfg, Policy::from_multipath(&mp, true))
         .run(&w, SEED)
         .accepted_throughput();
     let thr_rr_spread = Simulator::new(ft.topology(), cfg, Policy::from_multipath(&mp, false))
         .run(&w, SEED)
         .accepted_throughput();
-    result_line("random spreading throughput", format!("{thr_rand_spread:.3}"));
-    result_line("round-robin spreading throughput", format!("{thr_rr_spread:.3}"));
+    result_line(
+        "random spreading throughput",
+        format!("{thr_rand_spread:.3}"),
+    );
+    result_line(
+        "round-robin spreading throughput",
+        format!("{thr_rr_spread:.3}"),
+    );
     all_ok &= verdict(
         (thr_rand_spread - thr_rr_spread).abs() < 0.15,
         "spreading discipline is a second-order effect (both remain below crossbar)",

@@ -21,7 +21,10 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let mut all_ok = true;
 
-    banner("E8a", "Theorem 4 — exhaustive sweep on ftree(2+m, 3), 720 permutations");
+    banner(
+        "E8a",
+        "Theorem 4 — exhaustive sweep on ftree(2+m, 3), 720 permutations",
+    );
     let tiny = Ftree::new(2, 16, 3).unwrap();
     let tiny_router = NonblockingAdaptive::new(&tiny).unwrap();
     all_ok &= verdict(
@@ -53,11 +56,20 @@ fn main() {
         );
     }
 
-    banner("E9", "Theorem 5 — top switches consumed vs n (c fixed at 2)");
+    banner(
+        "E9",
+        "Theorem 5 — top switches consumed vs n (c fixed at 2)",
+    );
     // Keep c constant by choosing r = n² (so c = 2) across the sweep.
     let mut points = Vec::new();
     let mut table = TextTable::new([
-        "n", "r=n²", "c", "worst tops used", "n²", "coarse bound", "paper O(n^1.833)",
+        "n",
+        "r=n²",
+        "c",
+        "worst tops used",
+        "n²",
+        "coarse bound",
+        "paper O(n^1.833)",
     ]);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED + 9);
     for n in [3usize, 4, 5, 6, 7, 8, 9, 10] {
@@ -87,22 +99,34 @@ fn main() {
         // The asymptotic improvement: for large enough n the measured tops
         // drop below n² (the deterministic requirement).
         if n >= 6 {
-            all_ok &= verdict(worst < n * n, &format!("n={n}: adaptive uses {worst} < n² = {}", n * n));
+            all_ok &= verdict(
+                worst < n * n,
+                &format!("n={n}: adaptive uses {worst} < n² = {}", n * n),
+            );
         }
     }
     print!("{}", table.render());
     let fit = PowerFit::fit(&points).expect("fit");
-    result_line("measured exponent", format!("{:.3} (r² = {:.4})", fit.b, fit.r_squared));
+    result_line(
+        "measured exponent",
+        format!("{:.3} (r² = {:.4})", fit.b, fit.r_squared),
+    );
     result_line(
         "paper exponent",
-        format!("{:.3} (= 2 - 1/(2(c+1)) at c = 2)", formulas::adaptive_exponent(2)),
+        format!(
+            "{:.3} (= 2 - 1/(2(c+1)) at c = 2)",
+            formulas::adaptive_exponent(2)
+        ),
     );
     all_ok &= verdict(
         fit.b < 2.0,
         "measured scaling exponent is below 2 (beats deterministic m = n²)",
     );
 
-    banner("E13", "Lemma 6 — digit combinatorics (randomized brute force)");
+    banner(
+        "E13",
+        "Lemma 6 — digit combinatorics (randomized brute force)",
+    );
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED + 13);
     let mut checked = 0usize;
     let mut holds = 0usize;

@@ -64,7 +64,10 @@ fn main() {
         dmodk_at_n2 > 0.0,
         "d-mod-k still blocks at m = n² (count alone is not enough)",
     );
-    all_ok &= verdict(dmodk_monotone_ish, "d-mod-k blocking shrinks (roughly) as m grows");
+    all_ok &= verdict(
+        dmodk_monotone_ish,
+        "d-mod-k blocking shrinks (roughly) as m grows",
+    );
     result_line(
         "greedy first zero-blocking m",
         greedy_zero_m.map_or("never".into(), |m| m.to_string()),

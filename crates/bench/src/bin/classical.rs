@@ -52,7 +52,10 @@ fn main() {
     let mut all_ok = true;
     let (n, r) = (3usize, 5usize);
 
-    banner("E16", "classical Clos(n, m, r) under centralized circuit switching");
+    banner(
+        "E16",
+        "classical Clos(n, m, r) under centralized circuit switching",
+    );
     let mut table = TextTable::new([
         "m",
         "regime",
@@ -105,7 +108,10 @@ fn main() {
     }
     print!("{}", table.render());
 
-    banner("E16c", "wide-sense verdicts by exhaustive state-space search");
+    banner(
+        "E16c",
+        "wide-sense verdicts by exhaustive state-space search",
+    );
     // For tiny shapes the reachable state space under a deterministic
     // policy is finite: decide wide-sense nonblocking-ness exactly.
     use ftclos_core::wide_sense::{verify_witness, wide_sense_search, WideSense};

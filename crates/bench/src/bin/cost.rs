@@ -2,17 +2,25 @@
 //! ports (two levels); `O(N²)` switches give `O(N²)` ports (three levels);
 //! comparison against FT(N,2)/FT(N,3).
 
-use ftclos_analysis::cost::{
-    three_level_scaling_ratios, two_level_scaling_ratios, CostModel,
-};
+use ftclos_analysis::cost::{three_level_scaling_ratios, two_level_scaling_ratios, CostModel};
 use ftclos_analysis::{PowerFit, TextTable};
 use ftclos_bench::{banner, result_line, verdict};
 
 fn main() {
     let mut all_ok = true;
 
-    banner("E14a", "two-level scaling: switches/N -> 2, ports/N^1.5 -> 1 (N = n+n²)");
-    let mut table = TextTable::new(["n", "N=n+n²", "switches", "ports", "switches/N", "ports/N^1.5"]);
+    banner(
+        "E14a",
+        "two-level scaling: switches/N -> 2, ports/N^1.5 -> 1 (N = n+n²)",
+    );
+    let mut table = TextTable::new([
+        "n",
+        "N=n+n²",
+        "switches",
+        "ports",
+        "switches/N",
+        "ports/N^1.5",
+    ]);
     let mut pts_ports = Vec::new();
     for n in [2usize, 4, 8, 16, 32, 64] {
         let m = CostModel::two_level_nonblocking(n);
@@ -52,12 +60,18 @@ fn main() {
         pts3.push(((n + n * n) as f64, m.ports as f64));
     }
     let fit3 = PowerFit::fit(&pts3).unwrap();
-    result_line("three-level ports vs N exponent", format!("{:.3} (paper: 2)", fit3.b));
+    result_line(
+        "three-level ports vs N exponent",
+        format!("{:.3} (paper: 2)", fit3.b),
+    );
     // ports/N² = n/(n+1) converges to 1 slowly, which biases the finite-size
     // fit slightly above 2; accept the asymptotic claim within 0.15.
     all_ok &= verdict((fit3.b - 2.0).abs() < 0.15, "three-level ports scale as N²");
 
-    banner("E14c", "cost of nonblocking vs rearrangeable at equal radix");
+    banner(
+        "E14c",
+        "cost of nonblocking vs rearrangeable at equal radix",
+    );
     let mut table = TextTable::new([
         "radix N",
         "NB ports",
@@ -80,7 +94,10 @@ fn main() {
         ]);
         all_ok &= verdict(
             overhead > 1.0,
-            &format!("radix {}: nonblocking costs more per port (crossbar guarantee)", nb.radix),
+            &format!(
+                "radix {}: nonblocking costs more per port (crossbar guarantee)",
+                nb.radix
+            ),
         );
     }
     print!("{}", table.render());

@@ -8,7 +8,10 @@ use ftclos_topo::{Clos, Ftree, StructureReport};
 fn main() {
     let mut all_ok = true;
 
-    banner("E2", "Fig. 1 — Clos(n,m,r) and ftree(n+m,r), logical equivalence");
+    banner(
+        "E2",
+        "Fig. 1 — Clos(n,m,r) and ftree(n+m,r), logical equivalence",
+    );
     // The paper's example shapes: Clos(n, m, r) and its folded version.
     let (n, m, r) = (2usize, 3usize, 4usize);
     let clos = Clos::new(n, m, r).unwrap();
@@ -44,7 +47,10 @@ fn main() {
     );
     std::fs::write(out_dir.join("fig1a_clos.dot"), &fig1a).unwrap();
     std::fs::write(out_dir.join("fig1b_ftree.dot"), &fig1b).unwrap();
-    result_line("artifacts", "target/figures/fig1a_clos.dot, fig1b_ftree.dot");
+    result_line(
+        "artifacts",
+        "target/figures/fig1a_clos.dot, fig1b_ftree.dot",
+    );
 
     banner("E3", "Fig. 2 — the ftree(n+1, r) subgraph used by Lemma 2");
     let sub = Ftree::lemma2_subgraph(2, 5).unwrap();

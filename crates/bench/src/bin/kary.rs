@@ -37,12 +37,18 @@ fn main() {
         // Diversity = k^(n-1) for full-height pairs.
         all_ok &= verdict(
             paths.len() == k.pow(n as u32 - 1),
-            &format!("{k}-ary {n}-tree: k^(n-1) = {} paths to the far leaf", k.pow(n as u32 - 1)),
+            &format!(
+                "{k}-ary {n}-tree: k^(n-1) = {} paths to the far leaf",
+                k.pow(n as u32 - 1)
+            ),
         );
     }
     print!("{}", table.render());
 
-    banner("E15b", "deterministic routing on multi-level trees is blocking");
+    banner(
+        "E15b",
+        "deterministic routing on multi-level trees is blocking",
+    );
     for (k, n) in [(2usize, 3usize), (3, 2), (4, 2)] {
         let t = kary_ntree(k, n).unwrap();
         let router = XgftRouter::dmod(&t);
@@ -60,7 +66,10 @@ fn main() {
         "FT(4,3) + dest-digit routing blocks",
     );
 
-    banner("E15c", "packet throughput on a 3-level tree vs its port count");
+    banner(
+        "E15c",
+        "packet throughput on a 3-level tree vs its port count",
+    );
     let cfg = SimConfig {
         warmup_cycles: 300,
         measure_cycles: 1_500,
@@ -88,12 +97,8 @@ fn main() {
     for s in 0..64u32 {
         for d in 0..64u32 {
             let p = router.route(SdPair::new(s, d));
-            p.validate(
-                t.topology(),
-                ftclos_topo::NodeId(s),
-                ftclos_topo::NodeId(d),
-            )
-            .unwrap();
+            p.validate(t.topology(), ftclos_topo::NodeId(s), ftclos_topo::NodeId(d))
+                .unwrap();
             checked += 1;
         }
     }

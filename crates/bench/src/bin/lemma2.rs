@@ -17,7 +17,13 @@ fn main() {
 
     banner("E5", "Lemma 2 — max SD pairs through one top switch");
     let mut table = TextTable::new([
-        "n", "r", "regime", "bound", "type3 r(r-1)", "greedy", "exact",
+        "n",
+        "r",
+        "regime",
+        "bound",
+        "type3 r(r-1)",
+        "greedy",
+        "exact",
     ]);
     let shapes = [
         (1usize, 3usize),
@@ -54,11 +60,17 @@ fn main() {
             &format!("n={n} r={r}: constructions within the bound"),
         );
         if let Some(e) = exact {
-            all_ok &= verdict(e <= bound, &format!("n={n} r={r}: exact max {e} <= bound {bound}"));
+            all_ok &= verdict(
+                e <= bound,
+                &format!("n={n} r={r}: exact max {e} <= bound {bound}"),
+            );
             if r > 2 * n {
                 all_ok &= verdict(
                     e == r * (r - 1),
-                    &format!("n={n} r={r}: bound r(r-1) is TIGHT (exact == {})", r * (r - 1)),
+                    &format!(
+                        "n={n} r={r}: bound r(r-1) is TIGHT (exact == {})",
+                        r * (r - 1)
+                    ),
                 );
             }
         }
@@ -67,15 +79,24 @@ fn main() {
 
     // The counting consequence (Theorem 2's denominator): total pairs /
     // per-top max == n² in the large regime.
-    banner("E5b", "counting consequence: r(r-1)n² / r(r-1) = n² tops needed");
+    banner(
+        "E5b",
+        "counting consequence: r(r-1)n² / r(r-1) = n² tops needed",
+    );
     for (n, r) in [(2usize, 5usize), (3, 7), (4, 9)] {
         let total = r * (r - 1) * n * n;
         let per_top = lemma2_bound(n, r);
         result_line(
             &format!("n={n} r={r}"),
-            format!("{total} pairs / {per_top} per top = {} tops", total / per_top),
+            format!(
+                "{total} pairs / {per_top} per top = {} tops",
+                total / per_top
+            ),
         );
-        all_ok &= verdict(total / per_top == n * n, &format!("n={n} r={r}: quotient is n²"));
+        all_ok &= verdict(
+            total / per_top == n * n,
+            &format!("n={n} r={r}: quotient is n²"),
+        );
     }
 
     result_line("overall", if all_ok { "PASS" } else { "FAIL" });

@@ -18,12 +18,14 @@ use rand::SeedableRng;
 fn main() {
     let mut all_ok = true;
 
-    banner("E7a", "Lemma 1 over spread-path unions (any m, any two pairs, one switch)");
+    banner(
+        "E7a",
+        "Lemma 1 over spread-path unions (any m, any two pairs, one switch)",
+    );
     for m in [2usize, 4, 16, 64] {
         let ft = Ftree::new(2, m, 5).unwrap();
         let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
-        let perm =
-            Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
         let spread = mp.spread_pattern(&perm).unwrap();
         let violation = spread.lemma1_violation();
         all_ok &= verdict(
@@ -32,7 +34,10 @@ fn main() {
         );
     }
 
-    banner("E7b", "random permutations: violations persist for m < n² spreads");
+    banner(
+        "E7b",
+        "random permutations: violations persist for m < n² spreads",
+    );
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED);
     let ft = Ftree::new(3, 4, 7).unwrap(); // m = 4 < n² = 9
     let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
@@ -45,13 +50,19 @@ fn main() {
             with_violation += 1;
         }
     }
-    result_line("violating permutations", format!("{with_violation}/{trials}"));
+    result_line(
+        "violating permutations",
+        format!("{with_violation}/{trials}"),
+    );
     all_ok &= verdict(
         with_violation == trials,
         "every sampled full permutation admits adversarial-timing contention",
     );
 
-    banner("E7c", "packet level: spreading balances load but is not nonblocking");
+    banner(
+        "E7c",
+        "packet level: spreading balances load but is not nonblocking",
+    );
     let cfg = SimConfig {
         warmup_cycles: 300,
         measure_cycles: 1_500,
@@ -59,19 +70,21 @@ fn main() {
     };
     // Funnel pattern: 4 sources of switch 0 target same-residue dests.
     let ft4 = Ftree::new(4, 4, 9).unwrap();
-    let perm = Permutation::from_pairs(
-        36,
-        (0..4).map(|k| SdPair::new(k, (k + 1) * 4)),
-    )
-    .unwrap();
+    let perm = Permutation::from_pairs(36, (0..4).map(|k| SdPair::new(k, (k + 1) * 4))).unwrap();
     let single = ftclos_routing::DModK::new(&ft4);
     let spread = ObliviousMultipath::new(&ft4, SpreadPolicy::Random);
     let s_single = Simulator::new(ft4.topology(), cfg, Policy::from_single_path(&single))
         .run(&Workload::permutation(&perm, 1.0), SEED);
     let s_spread = Simulator::new(ft4.topology(), cfg, Policy::from_multipath(&spread, true))
         .run(&Workload::permutation(&perm, 1.0), SEED);
-    result_line("d-mod-k throughput", format!("{:.3}", s_single.accepted_throughput()));
-    result_line("random-spread throughput", format!("{:.3}", s_spread.accepted_throughput()));
+    result_line(
+        "d-mod-k throughput",
+        format!("{:.3}", s_single.accepted_throughput()),
+    );
+    result_line(
+        "random-spread throughput",
+        format!("{:.3}", s_spread.accepted_throughput()),
+    );
     all_ok &= verdict(
         s_spread.accepted_throughput() > s_single.accepted_throughput() + 0.2,
         "spreading improves the funnel pattern (better load balance)",
@@ -86,10 +99,20 @@ fn main() {
     let full = patterns::random_full(21, &mut rng2);
     let s_yuan = Simulator::new(ftnb.topology(), cfg, Policy::from_single_path(&yuan))
         .run(&Workload::permutation(&full, 1.0), SEED);
-    let s_rand = Simulator::new(ftnb.topology(), cfg, Policy::from_multipath(&spread_nb, true))
-        .run(&Workload::permutation(&full, 1.0), SEED);
-    result_line("Theorem 3 routing throughput", format!("{:.3}", s_yuan.accepted_throughput()));
-    result_line("random spread on same fabric", format!("{:.3}", s_rand.accepted_throughput()));
+    let s_rand = Simulator::new(
+        ftnb.topology(),
+        cfg,
+        Policy::from_multipath(&spread_nb, true),
+    )
+    .run(&Workload::permutation(&full, 1.0), SEED);
+    result_line(
+        "Theorem 3 routing throughput",
+        format!("{:.3}", s_yuan.accepted_throughput()),
+    );
+    result_line(
+        "random spread on same fabric",
+        format!("{:.3}", s_rand.accepted_throughput()),
+    );
     all_ok &= verdict(
         s_yuan.accepted_throughput() > 0.95,
         "Theorem 3 routing delivers ~line rate",

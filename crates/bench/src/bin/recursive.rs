@@ -74,7 +74,10 @@ fn main() {
         );
     }
 
-    banner("E10c", "scaling: O(N²) N-port switches -> O(N²) ports, N = n+n²");
+    banner(
+        "E10c",
+        "scaling: O(N²) N-port switches -> O(N²) ports, N = n+n²",
+    );
     for n in [2usize, 4, 8] {
         let net = NonblockingThreeLevel::new(n).unwrap();
         let big_n = (n + n * n) as f64;

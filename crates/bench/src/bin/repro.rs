@@ -19,7 +19,11 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("blocking", "E12  blocking probability"),
     ("cost", "E14  cost scaling"),
     ("kary", "E15  multi-level fat-trees (extension)"),
-    ("classical", "E16  classical centralized Clos hierarchy (context)"),
+    (
+        "classical",
+        "E16  classical centralized Clos hierarchy (context)",
+    ),
+    ("faults", "E17  degraded operation under failures"),
     ("simval", "V1  simulator validation (HOL vs iSLIP)"),
     ("ablation", "A1-A3  design-choice ablations"),
 ];

@@ -39,7 +39,10 @@ impl SinglePathRouter for XbRouter<'_> {
 fn main() {
     let mut all_ok = true;
 
-    banner("V1", "input-queued crossbar, saturated uniform traffic (16 ports)");
+    banner(
+        "V1",
+        "input-queued crossbar, saturated uniform traffic (16 ports)",
+    );
     let xb = crossbar(16).unwrap();
     let router = XbRouter(&xb);
     let uni = Workload::uniform_random(16, 1.0);

@@ -18,7 +18,10 @@ use ftclos_topo::Ftree;
 fn main() {
     let mut all_ok = true;
 
-    banner("E6", "Theorem 2 — every deterministic routing with m < n² blocks");
+    banner(
+        "E6",
+        "Theorem 2 — every deterministic routing with m < n² blocks",
+    );
     let mut table = TextTable::new(["n", "r", "m", "router", "blocking witness"]);
     for (n, r) in [(2usize, 5usize), (3, 7), (2, 8)] {
         let n2 = n * n;
@@ -46,10 +49,17 @@ fn main() {
                 // Double-check the witness really contends.
                 if let Some(perm) = witness {
                     let load = match name {
-                        "d-mod-k" => route_all(&DModK::new(&ft), &perm).unwrap().max_channel_load(),
-                        _ => route_all(&SModK::new(&ft), &perm).unwrap().max_channel_load(),
+                        "d-mod-k" => route_all(&DModK::new(&ft), &perm)
+                            .unwrap()
+                            .max_channel_load(),
+                        _ => route_all(&SModK::new(&ft), &perm)
+                            .unwrap()
+                            .max_channel_load(),
                     };
-                    all_ok &= verdict(load >= 2, &format!("n={n} r={r} m={m} {name}: witness contends"));
+                    all_ok &= verdict(
+                        load >= 2,
+                        &format!("n={n} r={r} m={m} {name}: witness contends"),
+                    );
                 }
             }
         }

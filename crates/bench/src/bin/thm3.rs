@@ -65,11 +65,17 @@ fn main() {
         let ok = is_nonblocking_deterministic(&router);
         all_ok &= verdict(
             ok,
-            &format!("ftree({n}+{}, {r}): Lemma 1 audit passes (nonblocking)", n * n),
+            &format!(
+                "ftree({n}+{}, {r}): Lemma 1 audit passes (nonblocking)",
+                n * n
+            ),
         );
         all_ok &= verdict(
             find_blocking_two_pair(&router).is_none(),
-            &format!("ftree({n}+{}, {r}): no blocking two-pair pattern exists", n * n),
+            &format!(
+                "ftree({n}+{}, {r}): no blocking two-pair pattern exists",
+                n * n
+            ),
         );
     }
 
@@ -78,7 +84,10 @@ fn main() {
     let tiny_router = YuanDeterministic::new(&tiny).unwrap();
     let blocked = find_blocking_exhaustive(&tiny_router);
     result_line("permutations checked", "6! = 720");
-    all_ok &= verdict(blocked.is_none(), "all 720 permutations of ftree(2+4,3) contention-free");
+    all_ok &= verdict(
+        blocked.is_none(),
+        "all 720 permutations of ftree(2+4,3) contention-free",
+    );
 
     banner("E4d", "randomized + structured sweeps on ftree(4+16, 12)");
     let big = Ftree::new(4, 16, 12).unwrap();

@@ -110,10 +110,22 @@ fn main() {
 
     let mut table = TextTable::new(["fabric", "routing", "accepted throughput"]);
     table.row(["crossbar(36)", "direct", &format!("{xbar_thr:.3}")]);
-    table.row(["ftree(3+9,12) nonblocking", "Theorem 3", &format!("{nb_thr:.3}")]);
+    table.row([
+        "ftree(3+9,12) nonblocking",
+        "Theorem 3",
+        &format!("{nb_thr:.3}"),
+    ]);
     table.row(["FT(12,2) rearrangeable", "d-mod-k", &format!("{ft_thr:.3}")]);
-    table.row(["FT(12,2) rearrangeable", "random multipath", &format!("{ft_mp_thr:.3}")]);
-    table.row(["FT(12,2) rearrangeable", "queue adaptive", &format!("{ft_adaptive_thr:.3}")]);
+    table.row([
+        "FT(12,2) rearrangeable",
+        "random multipath",
+        &format!("{ft_mp_thr:.3}"),
+    ]);
+    table.row([
+        "FT(12,2) rearrangeable",
+        "queue adaptive",
+        &format!("{ft_adaptive_thr:.3}"),
+    ]);
     print!("{}", table.render());
 
     all_ok &= verdict(xbar_thr > 0.95, "crossbar delivers ~line rate");
@@ -135,7 +147,10 @@ fn main() {
         "queue-adaptive remains functional (no collapse)",
     );
 
-    banner("E11b", "load-latency curves (nonblocking vs d-mod-k fat-tree)");
+    banner(
+        "E11b",
+        "load-latency curves (nonblocking vs d-mod-k fat-tree)",
+    );
     let rates = [0.2, 0.4, 0.6, 0.8, 0.95];
     let perm_nb = {
         let mut r2 = rand_chacha::ChaCha8Rng::seed_from_u64(SEED + 99);
@@ -162,7 +177,11 @@ fn main() {
         SEED,
     );
     let mut curve = TextTable::new([
-        "offered", "NB accepted", "NB latency", "FT accepted", "FT latency",
+        "offered",
+        "NB accepted",
+        "NB latency",
+        "FT accepted",
+        "FT latency",
     ]);
     for (a, b) in nb_curve.iter().zip(&ft_curve) {
         curve.row([

@@ -20,6 +20,7 @@
 //! | `throughput` | E11 — packet-level throughput vs crossbar |
 //! | `blocking` | E12 — blocking probability vs `m` |
 //! | `cost` | E14 — cost scaling ratios |
+//! | `faults` | E17 — degraded operation under injected failures |
 //! | `repro` | all of the above, in order |
 
 use std::io::Write as _;

@@ -2,8 +2,8 @@
 
 use crate::opts::{CliError, Opts};
 use ftclos_routing::{
-    route_all, DModK, GreedyLocalAdaptive, NonblockingAdaptive, PatternRouter,
-    RearrangeableRouter, RouteAssignment, SModK, YuanDeterministic,
+    route_all, DModK, GreedyLocalAdaptive, NonblockingAdaptive, PatternRouter, RearrangeableRouter,
+    RouteAssignment, SModK, YuanDeterministic,
 };
 use ftclos_topo::Ftree;
 use ftclos_traffic::{patterns, Permutation};
@@ -50,7 +50,14 @@ pub fn make_pattern(spec: &str, ports: u32, seed: u64) -> Result<Permutation, Cl
 }
 
 /// The router names accepted by `--router`.
-pub const ROUTERS: &[&str] = &["yuan", "dmodk", "smodk", "adaptive", "greedy", "rearrangeable"];
+pub const ROUTERS: &[&str] = &[
+    "yuan",
+    "dmodk",
+    "smodk",
+    "adaptive",
+    "greedy",
+    "rearrangeable",
+];
 
 /// Route `perm` on `ft` with the named router.
 pub fn route_named(
@@ -67,7 +74,9 @@ pub fn route_named(
             .map_err(fail)?
             .route_pattern(perm)
             .map_err(fail),
-        "greedy" => GreedyLocalAdaptive::new(ft).route_pattern(perm).map_err(fail),
+        "greedy" => GreedyLocalAdaptive::new(ft)
+            .route_pattern(perm)
+            .map_err(fail),
         "rearrangeable" => RearrangeableRouter::new(ft)
             .map_err(fail)?
             .route_pattern(perm)

@@ -40,7 +40,10 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
             "radix {radix} is too small for any construction"
         )));
     }
-    Ok(format!("designs from {radix}-port switches:\n{}", table.render()))
+    Ok(format!(
+        "designs from {radix}-port switches:\n{}",
+        table.render()
+    ))
 }
 
 #[cfg(test)]

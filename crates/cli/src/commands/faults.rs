@@ -1,0 +1,195 @@
+//! `ftclos faults <n> <m> <r> [--fail-tops K] [--fail-links K] [--seed S]
+//! [--samples N] [--max-k K]` — degraded-operation analysis under injected
+//! hardware failures.
+//!
+//! Reports, for the faulted fabric:
+//! * how many source-destination pairs the Theorem 3 deterministic routing
+//!   loses (its top assignment is pinned, so a dead top strands pairs), and
+//!   whether the surviving routes still satisfy Lemma 1;
+//! * whether masked oblivious multipath can spread a permutation over the
+//!   remaining paths;
+//! * the masked NONBLOCKINGADAPTIVE verdict over sampled permutations;
+//! * the survivability margin: the largest `k` such that **any** `k`
+//!   simultaneous top-switch failures leave the adaptive routing
+//!   contention-free.
+
+use super::common::{build_ftree, make_pattern};
+use crate::opts::{CliError, Opts};
+use ftclos_core::{
+    adaptive_degraded_verdict, deterministic_degradation, max_survivable_top_failures,
+    DegradedVerdict,
+};
+use ftclos_routing::{ObliviousMultipath, SpreadPolicy, YuanDeterministic};
+use ftclos_topo::{FaultSet, FaultyView};
+use std::fmt::Write as _;
+
+/// Run the command.
+pub fn run(opts: &Opts) -> Result<String, CliError> {
+    let ft = build_ftree(opts)?;
+    let fail_tops: usize = opts.flag_or("fail-tops", 1)?;
+    let fail_links: usize = opts.flag_or("fail-links", 0)?;
+    let seed: u64 = opts.flag_or("seed", 0)?;
+    let samples: usize = opts.flag_or("samples", 50)?;
+    let max_k: usize = opts.flag_or("max-k", 2)?;
+    if fail_tops > ft.m() {
+        return Err(CliError::Usage(format!(
+            "--fail-tops {fail_tops} exceeds the {} top switches",
+            ft.m()
+        )));
+    }
+
+    let mut faults = FaultSet::new();
+    for t in 0..fail_tops {
+        faults.fail_switch(ft.top(t));
+    }
+    if fail_links > 0 {
+        faults.merge(&FaultSet::random_links(ft.topology(), fail_links, seed));
+    }
+    let view = FaultyView::new(ft.topology(), &faults);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ftree({}+{}, {}): failed {} top switch(es), {} random link(s) -> {} dead channel(s)",
+        ft.n(),
+        ft.m(),
+        ft.r(),
+        fail_tops,
+        fail_links,
+        view.num_dead_channels()
+    );
+
+    // Theorem 3 deterministic: pinned top assignment, so it cannot route
+    // around anything — count what it loses.
+    match YuanDeterministic::new(&ft) {
+        Ok(router) => {
+            let deg = deterministic_degradation(&router, &view);
+            let _ = writeln!(
+                out,
+                "yuan deterministic: {}/{} pairs routable ({:.1}% lost), surviving routes {}",
+                deg.routable_pairs(),
+                deg.total_pairs,
+                deg.unroutable_fraction() * 100.0,
+                match &deg.lemma1 {
+                    Ok(()) => "satisfy Lemma 1".to_string(),
+                    Err(v) => format!("VIOLATE Lemma 1 on channel {:?}", v.channel),
+                }
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "yuan deterministic: unavailable ({e})");
+        }
+    }
+
+    // Masked oblivious multipath on one permutation.
+    let ports = ft.num_leaves() as u32;
+    let perm = make_pattern("random", ports, seed)?;
+    let mp = ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin);
+    match mp.spread_pattern_masked(&perm, &view) {
+        Ok(a) => {
+            let _ = writeln!(
+                out,
+                "masked multipath:   random permutation spread over live paths ({} flows)",
+                a.entries().len()
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "masked multipath:   {e}");
+        }
+    }
+
+    // Masked adaptive verdict under the injected faults.
+    match adaptive_degraded_verdict(&ft, &view, samples, seed) {
+        Ok(v) => {
+            let _ = writeln!(out, "masked adaptive:    {}", describe_verdict(&v));
+        }
+        Err(e) => {
+            let _ = writeln!(out, "masked adaptive:    unavailable ({e})");
+        }
+    }
+
+    // Survivability margin over top-switch failures (independent of the
+    // injected fault set: sweeps its own subsets).
+    if max_k > 0 {
+        match max_survivable_top_failures(&ft, max_k, samples, 64, seed) {
+            Ok(report) => {
+                let _ = writeln!(out, "survivability:      max k = {}", report.max_k);
+                for level in &report.levels {
+                    let mut line = format!(
+                        "  k={}: {} ({} subset(s){})",
+                        level.k,
+                        describe_verdict(&level.verdict),
+                        level.subsets_checked,
+                        if level.exhaustive {
+                            ", exhaustive"
+                        } else {
+                            ", sampled"
+                        }
+                    );
+                    if let Some(cx) = &level.counterexample {
+                        let _ = write!(line, ", failing tops {cx:?}");
+                    }
+                    let _ = writeln!(out, "{line}");
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "survivability:      unavailable ({e})");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn describe_verdict(v: &DegradedVerdict) -> String {
+    match v {
+        DegradedVerdict::ContentionFree {
+            permutations,
+            exhaustive,
+        } => format!(
+            "CONTENTION-FREE over {permutations} {} permutation(s)",
+            if *exhaustive { "(all)" } else { "sampled" }
+        ),
+        DegradedVerdict::Unroutable { src, dst } => {
+            format!("UNROUTABLE pair {src} -> {dst} (no live path exists)")
+        }
+        DegradedVerdict::PlanExhausted { needed, available } => {
+            format!("PLAN EXHAUSTED (needed {needed} tops, fabric has {available})")
+        }
+        DegradedVerdict::Contention { pairs } => {
+            format!("CONTENTION on a permutation of {} pairs", pairs.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Opts {
+        Opts::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn spare_fabric_survives_single_top_failure() {
+        // ftree(3+12, 9) has a spare partition: config 1 absorbs any single
+        // dead top, and the survivability sweep proves max k >= 1.
+        let out = run(&argv("3 12 9 --fail-tops 1 --samples 10 --max-k 1")).unwrap();
+        assert!(out.contains("masked adaptive:    CONTENTION-FREE"), "{out}");
+        assert!(out.contains("max k = 1"), "{out}");
+        // Yuan's pinned assignment loses r(r-1) = 72 pairs to the dead top.
+        assert!(out.contains("pairs routable"), "{out}");
+        assert!(out.contains("satisfy Lemma 1"), "{out}");
+    }
+
+    #[test]
+    fn yuan_reports_lost_pairs() {
+        let out = run(&argv("2 4 5 --fail-tops 1 --samples 5 --max-k 0")).unwrap();
+        // r(r-1) = 20 of the 90 cross pairs ride top 0.
+        assert!(out.contains("70/90 pairs routable"), "{out}");
+    }
+
+    #[test]
+    fn too_many_tops_rejected() {
+        assert!(run(&argv("2 4 5 --fail-tops 99")).is_err());
+    }
+}

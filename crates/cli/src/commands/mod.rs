@@ -4,6 +4,7 @@ pub mod blocking;
 pub mod build;
 pub mod common;
 pub mod design;
+pub mod faults;
 pub mod route;
 pub mod simulate;
 pub mod table1;

@@ -53,10 +53,8 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         arbiter,
         ..SimConfig::default()
     };
-    let stats = Simulator::new(ft.topology(), cfg, policy).run(
-        &Workload::permutation(&perm, rate),
-        seed ^ 0xC0FFEE,
-    );
+    let stats = Simulator::new(ft.topology(), cfg, policy)
+        .run(&Workload::permutation(&perm, rate), seed ^ 0xC0FFEE);
 
     let mut out = String::new();
     let _ = writeln!(

@@ -18,7 +18,11 @@ fn audit_router<R: SinglePathRouter>(router: &R) -> String {
             );
         }
         Err(v) => {
-            let _ = writeln!(out, "BLOCKING: link {} carries multiple sources AND destinations", v.channel);
+            let _ = writeln!(
+                out,
+                "BLOCKING: link {} carries multiple sources AND destinations",
+                v.channel
+            );
             let _ = writeln!(
                 out,
                 "  witness permutation: ({} -> {}) and ({} -> {}) contend",
@@ -35,8 +39,8 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
     let name = opts.flag("router").unwrap_or("yuan");
     let body = match name {
         "yuan" => {
-            let router = YuanDeterministic::new(&ft)
-                .map_err(|e| CliError::Failed(e.to_string()))?;
+            let router =
+                YuanDeterministic::new(&ft).map_err(|e| CliError::Failed(e.to_string()))?;
             audit_router(&router)
         }
         "dmodk" => audit_router(&DModK::new(&ft)),

@@ -9,6 +9,8 @@
 //! ftclos simulate <n> <m> <r> [--router R] [--pattern P] [--rate F]
 //!                 [--cycles N] [--arbiter hol|islip:K] [--seed S]
 //! ftclos blocking <n> <m> <r> [--router R] [--samples N] [--seed S]
+//! ftclos faults <n> <m> <r> [--fail-tops K] [--fail-links K] [--seed S]
+//!               [--samples N] [--max-k K]
 //! ```
 //!
 //! Routers: `yuan` (Theorem 3, needs `m >= n²`), `dmodk`, `smodk`,
@@ -39,6 +41,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "route" => commands::route::run(&opts),
         "simulate" => commands::simulate::run(&opts),
         "blocking" => commands::blocking::run(&opts),
+        "faults" => commands::faults::run(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n{USAGE}"
@@ -59,6 +62,8 @@ USAGE:
   ftclos simulate <n> <m> <r> [--router R] [--pattern P] [--rate F]
                   [--cycles N] [--arbiter hol|islip:K] [--seed S]
   ftclos blocking <n> <m> <r> [--router R] [--samples N] [--seed S]
+  ftclos faults <n> <m> <r> [--fail-tops K] [--fail-links K] [--seed S]
+                [--samples N] [--max-k K]
 
 PATTERNS: shift:<k> random transpose bitrev neighbor tornado identity
 ROUTERS:  yuan dmodk smodk adaptive greedy rearrangeable";
@@ -101,6 +106,13 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("accepted throughput"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_faults() {
+        let out = run(&argv("faults 2 4 5 --fail-tops 1 --samples 5 --max-k 0")).unwrap();
+        assert!(out.contains("pairs routable"), "{out}");
+        assert!(out.contains("masked adaptive"), "{out}");
     }
 
     #[test]

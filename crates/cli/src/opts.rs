@@ -36,9 +36,9 @@ impl Opts {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it.next().ok_or_else(|| {
-                    CliError::Usage(format!("flag --{key} expects a value"))
-                })?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("flag --{key} expects a value")))?;
                 out.flags.insert(key.to_string(), value.clone());
             } else {
                 out.positionals.push(a.clone());

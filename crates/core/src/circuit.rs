@@ -377,8 +377,8 @@ mod tests {
         c.connect(0, 2).unwrap(); // v0 -> m0 -> w1
         c.connect(3, 4).unwrap(); // v1 -> m0 -> w2
         c.connect(2, 1).unwrap(); // v1 -> m1 (m0 busy at v1) -> w0
-        // Request idle port 1 (v0) -> idle port 0 (w0):
-        // v0 free middles = {m1}; w0 free middles = {m0}; intersection ∅.
+                                  // Request idle port 1 (v0) -> idle port 0 (w0):
+                                  // v0 free middles = {m1}; w0 free middles = {m0}; intersection ∅.
         assert_eq!(c.connect(1, 0), Err(ConnectError::Blocked));
         // Beneš: m = n = 2 is rearrangeable, so a controller willing to
         // re-point existing circuits completes the same request.
@@ -418,7 +418,9 @@ mod tests {
                     Ok(_) | Err(ConnectError::InputBusy) | Err(ConnectError::OutputBusy) => {}
                     Err(ConnectError::Blocked) => {
                         // Rearrangement must succeed (Beneš: m >= n).
-                        let t = c.connect_rearranging(s, d).expect("Beneš guarantees success");
+                        let t = c
+                            .connect_rearranging(s, d)
+                            .expect("Beneš guarantees success");
                         assert!(t < 2);
                         c.audit().unwrap();
                         witnessed = true;
@@ -428,7 +430,10 @@ mod tests {
                 }
             }
         }
-        assert!(witnessed, "churn should hit a blocked-but-rearrangeable state");
+        assert!(
+            witnessed,
+            "churn should hit a blocked-but-rearrangeable state"
+        );
     }
 
     #[test]

@@ -82,8 +82,7 @@ mod tests {
     fn contended_assignment_halves() {
         let ft = Ftree::new(2, 2, 5).unwrap();
         let r = DModK::new(&ft);
-        let perm =
-            Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
         let a = route_all(&r, &perm).unwrap();
         assert_eq!(saturation_throughput(&a), 0.5);
     }
@@ -92,8 +91,7 @@ mod tests {
     fn multipath_expected_throughput() {
         let ft = Ftree::new(2, 4, 5).unwrap();
         let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
-        let perm =
-            Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
         let spread = r.spread_pattern(&perm).unwrap();
         // Leaf links carry full units -> expected max load 1 -> throughput 1
         // in expectation (though timing can still collide, per the paper).
@@ -104,8 +102,7 @@ mod tests {
     fn load_stats_shape() {
         let ft = Ftree::new(2, 2, 5).unwrap();
         let r = DModK::new(&ft);
-        let perm =
-            Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
         let a = route_all(&r, &perm).unwrap();
         let stats = load_stats(&a);
         assert_eq!(stats.max, 2);

@@ -35,6 +35,7 @@
 
 pub mod circuit;
 pub mod construct;
+pub mod degraded;
 pub mod design;
 pub mod flow;
 pub mod lemma2;
@@ -44,6 +45,10 @@ pub mod wide_sense;
 
 pub use circuit::{CircuitClos, ConnectError, MiddlePolicy};
 pub use construct::{NonblockingFtree, NonblockingThreeLevel};
+pub use degraded::{
+    adaptive_degraded_verdict, deterministic_degradation, max_survivable_top_failures,
+    DegradedVerdict, DeterministicDegradation, KLevel, SurvivabilityReport,
+};
 pub use design::{DesignPoint, TableOneRow};
 pub use search::BlockingReport;
 pub use verify::{ContentionWitness, LinkAudit};

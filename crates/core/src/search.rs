@@ -94,7 +94,8 @@ pub fn blocking_report<R: PatternRouter + Sync + ?Sized>(
     let results: Vec<u32> = (0..samples)
         .into_par_iter()
         .map(|i| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let perm = patterns::random_full(router.ports(), &mut rng);
             match router.route_pattern(&perm) {
                 Ok(a) => a.max_channel_load(),

@@ -233,8 +233,7 @@ mod tests {
         let ft = Ftree::new(2, 2, 5).unwrap();
         let router = DModK::new(&ft);
         // Both target residue 0 tops from switch 0.
-        let perm =
-            Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
         let a = route_all(&router, &perm).unwrap();
         let w = find_contention(&a).expect("contention expected");
         assert_ne!(w.a, w.b);

@@ -72,7 +72,8 @@ pub fn wide_sense_search(
     let rebuild = |triples: &[Triple]| -> CircuitClos {
         let mut c = CircuitClos::new(n, m, r, policy);
         for &(s, d, t) in triples {
-            c.force_connect(s, d, t).expect("restore of a reachable state");
+            c.force_connect(s, d, t)
+                .expect("restore of a reachable state");
         }
         c
     };
@@ -228,7 +229,11 @@ mod tests {
         // The wide-sense property is policy-dependent (that is its point):
         // run both policies on the same shape and require each verdict to
         // be internally consistent (witness replays / exhaustive proof).
-        for policy in [MiddlePolicy::FirstFit, MiddlePolicy::LastFit, MiddlePolicy::Balanced] {
+        for policy in [
+            MiddlePolicy::FirstFit,
+            MiddlePolicy::LastFit,
+            MiddlePolicy::Balanced,
+        ] {
             match wide_sense_search(2, 3, 3, policy, 4_000_000) {
                 WideSense::Blocked(moves) => {
                     assert!(verify_witness(2, 3, 3, policy, &moves), "{policy:?}");

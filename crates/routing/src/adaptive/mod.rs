@@ -18,7 +18,7 @@ use crate::error::RoutingError;
 use crate::path::Path;
 use crate::router::PatternRouter;
 use digits::DigitCoder;
-use ftclos_topo::Ftree;
+use ftclos_topo::{FaultyView, Ftree};
 use ftclos_traffic::{Permutation, SdPair};
 use serde::{Deserialize, Serialize};
 
@@ -301,6 +301,240 @@ impl<'a> NonblockingAdaptive<'a> {
     }
 }
 
+impl<'a> NonblockingAdaptive<'a> {
+    /// Run Fig. 4 with failed hardware masked out of the LSET/partition
+    /// search: a `(config, partition, key)` slot is only eligible for a pair
+    /// when its physical top switch exists (`t < m`) and both the up channel
+    /// from the source switch and the down channel to the destination switch
+    /// are alive. Spare top switches (`m > tops_needed`) thus become live
+    /// fallback capacity: the algorithm simply opens more configurations.
+    ///
+    /// # Errors
+    /// * [`RoutingError::PortOutOfRange`] for bad pairs,
+    /// * [`RoutingError::NoLivePath`] when a pair's own leaf cable is dead,
+    ///   or no live top switch can serve it at all,
+    /// * [`RoutingError::NotEnoughTops`] when pairs remain unrouted after
+    ///   every configuration that fits in `m` has been tried.
+    pub fn plan_masked(
+        &self,
+        perm: &Permutation,
+        view: &FaultyView<'_>,
+        strategy: PlanStrategy,
+    ) -> Result<AdaptivePlan, RoutingError> {
+        let ports = self.ft.num_leaves() as u32;
+        for pair in perm.pairs() {
+            for port in [pair.src, pair.dst] {
+                if port >= ports {
+                    return Err(RoutingError::PortOutOfRange { port, ports });
+                }
+            }
+        }
+        let n = self.coder.n();
+        let c = self.coder.c();
+        let parts = self.coder.partitions();
+        let m = self.ft.m();
+        let config_width = (c + 1) * n;
+        let mut logical: Vec<(SdPair, LogicalRoute)> = Vec::with_capacity(perm.len());
+        let mut configs_per_switch = vec![0usize; self.ft.r()];
+
+        let groups = perm.group_by_source(|s| s as usize / n);
+        for (switch, group) in groups {
+            let mut pending: Vec<SdPair> = Vec::with_capacity(group.len());
+            for pair in group {
+                // The leaf's own cables have no alternative: dead means the
+                // pair is unreachable under any routing algorithm.
+                if pair.src != pair.dst {
+                    let (v, i) = (pair.src as usize / n, pair.src as usize % n);
+                    let (w, j) = (pair.dst as usize / n, pair.dst as usize % n);
+                    if !view.channel_alive(self.ft.leaf_up_channel(v, i))
+                        || !view.channel_alive(self.ft.leaf_down_channel(w, j))
+                    {
+                        return Err(RoutingError::NoLivePath {
+                            src: pair.src,
+                            dst: pair.dst,
+                        });
+                    }
+                }
+                if pair.dst as usize / n == switch {
+                    logical.push((pair, LogicalRoute::Local));
+                } else {
+                    pending.push(pair);
+                }
+            }
+            let mut config = 0u16;
+            while !pending.is_empty() {
+                if config as usize * config_width >= m {
+                    // Every further configuration lies wholly beyond the
+                    // fabric. Distinguish "this pair cannot be served by any
+                    // top switch" from "the fabric ran out of spare tops".
+                    for &pair in &pending {
+                        if !self.has_live_top(pair, view) {
+                            return Err(RoutingError::NoLivePath {
+                                src: pair.src,
+                                dst: pair.dst,
+                            });
+                        }
+                    }
+                    return Err(RoutingError::NotEnoughTops {
+                        needed: (config as usize + 1) * config_width,
+                        available: m,
+                    });
+                }
+                let mut used = vec![false; parts];
+                loop {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    let mut best: Option<(usize, Vec<usize>)> = None;
+                    #[allow(clippy::needless_range_loop)]
+                    for pt in 0..parts {
+                        if used[pt] {
+                            continue;
+                        }
+                        let mut seen = vec![false; n];
+                        let mut subset = Vec::new();
+                        for (idx, pair) in pending.iter().enumerate() {
+                            let key = self.coder.partition_key(pair.dst, pt);
+                            if seen[key] {
+                                continue;
+                            }
+                            let t = config as usize * config_width + pt * n + key;
+                            if !self.slot_alive(*pair, t, view) {
+                                continue;
+                            }
+                            seen[key] = true;
+                            subset.push(idx);
+                        }
+                        if !subset.is_empty()
+                            && best.as_ref().is_none_or(|(_, b)| subset.len() > b.len())
+                        {
+                            best = Some((pt, subset));
+                            if strategy == PlanStrategy::FirstFit {
+                                break;
+                            }
+                        }
+                    }
+                    let Some((pt, subset)) = best else {
+                        break; // no unused partition can take any pair
+                    };
+                    used[pt] = true;
+                    for &idx in subset.iter().rev() {
+                        let pair = pending.swap_remove(idx);
+                        let key = self.coder.partition_key(pair.dst, pt) as u16;
+                        logical.push((
+                            pair,
+                            LogicalRoute::Top {
+                                config,
+                                partition: pt as u16,
+                                key,
+                            },
+                        ));
+                    }
+                    if used.iter().all(|&u| u) {
+                        break;
+                    }
+                }
+                config += 1;
+            }
+            configs_per_switch[switch] = configs_per_switch[switch].max(config as usize);
+        }
+        Ok(AdaptivePlan {
+            n,
+            c,
+            configs_per_switch,
+            logical,
+        })
+    }
+
+    /// Whether physical top `t` can carry `pair` under the fault overlay.
+    fn slot_alive(&self, pair: SdPair, t: usize, view: &FaultyView<'_>) -> bool {
+        if t >= self.ft.m() {
+            return false;
+        }
+        let n = self.ft.n();
+        let v = pair.src as usize / n;
+        let w = pair.dst as usize / n;
+        view.channel_alive(self.ft.up_channel(v, t))
+            && view.channel_alive(self.ft.down_channel(t, w))
+    }
+
+    /// Whether *some* top switch in the fabric can still carry `pair`.
+    fn has_live_top(&self, pair: SdPair, view: &FaultyView<'_>) -> bool {
+        (0..self.ft.m()).any(|t| self.slot_alive(pair, t, view))
+    }
+
+    /// Materialize a plan onto the fabric, verifying every used channel
+    /// against the fault overlay (each used top is checked individually —
+    /// [`AdaptivePlan::tops_needed`] over-counts for masked plans, which may
+    /// skip dead slots inside a configuration).
+    ///
+    /// # Errors
+    /// * [`RoutingError::NotEnoughTops`] when a route references a top
+    ///   switch beyond `m`,
+    /// * [`RoutingError::PathFaulted`] when a route crosses a dead channel
+    ///   (never for plans produced by [`Self::plan_masked`] on this view).
+    pub fn materialize_masked(
+        &self,
+        plan: &AdaptivePlan,
+        view: &FaultyView<'_>,
+    ) -> Result<RouteAssignment, RoutingError> {
+        let n = self.ft.n();
+        let mut out = RouteAssignment::default();
+        for &(pair, route) in plan.logical() {
+            let (v, i) = (pair.src as usize / n, pair.src as usize % n);
+            let (w, j) = (pair.dst as usize / n, pair.dst as usize % n);
+            let path = match plan.top_index(route) {
+                None => {
+                    if pair.src == pair.dst {
+                        Path::empty()
+                    } else {
+                        Path::new(vec![
+                            self.ft.leaf_up_channel(v, i),
+                            self.ft.leaf_down_channel(w, j),
+                        ])
+                    }
+                }
+                Some(t) => {
+                    if t >= self.ft.m() {
+                        return Err(RoutingError::NotEnoughTops {
+                            needed: t + 1,
+                            available: self.ft.m(),
+                        });
+                    }
+                    Path::new(vec![
+                        self.ft.leaf_up_channel(v, i),
+                        self.ft.up_channel(v, t),
+                        self.ft.down_channel(t, w),
+                        self.ft.leaf_down_channel(w, j),
+                    ])
+                }
+            };
+            if let Err(ftclos_topo::FaultError::DeadChannel { channel }) =
+                view.path_alive(path.channels())
+            {
+                return Err(RoutingError::PathFaulted {
+                    src: pair.src,
+                    dst: pair.dst,
+                    channel,
+                });
+            }
+            out.push(pair, path);
+        }
+        Ok(out)
+    }
+
+    /// Plan and materialize under a fault overlay in one step (the paper's
+    /// greedy strategy).
+    pub fn route_pattern_masked(
+        &self,
+        perm: &Permutation,
+        view: &FaultyView<'_>,
+    ) -> Result<RouteAssignment, RoutingError> {
+        let plan = self.plan_masked(perm, view, PlanStrategy::GreedyLargestSubset)?;
+        self.materialize_masked(&plan, view)
+    }
+}
+
 impl PatternRouter for NonblockingAdaptive<'_> {
     fn ports(&self) -> u32 {
         self.ft.num_leaves() as u32
@@ -354,10 +588,7 @@ mod tests {
             for _ in 0..30 {
                 let perm = patterns::random_full(ports, &mut g);
                 let a = router.route_pattern(&perm).unwrap();
-                assert!(
-                    a.max_channel_load() <= 1,
-                    "contention with n={n} r={r}"
-                );
+                assert!(a.max_channel_load() <= 1, "contention with n={n} r={r}");
                 a.validate(ft.topology()).unwrap();
             }
         }
@@ -391,10 +622,7 @@ mod tests {
                 worst = worst.max(plan.tops_needed());
             }
             let bound = ((c + 1) * n * n).div_ceil(c + 2) + (c + 1) * n;
-            assert!(
-                worst <= bound,
-                "n={n} r={r}: worst {worst} > bound {bound}"
-            );
+            assert!(worst <= bound, "n={n} r={r}: worst {worst} > bound {bound}");
             assert!(worst < n * n + (c + 1) * n, "improves on deterministic");
         }
     }
@@ -412,11 +640,9 @@ mod tests {
     fn local_pairs_avoid_tops() {
         let ft = big_m_ftree(2, 4);
         let router = NonblockingAdaptive::new(&ft).unwrap();
-        let perm = Permutation::from_pairs(
-            8,
-            [SdPair::new(0, 1), SdPair::new(2, 2), SdPair::new(4, 7)],
-        )
-        .unwrap();
+        let perm =
+            Permutation::from_pairs(8, [SdPair::new(0, 1), SdPair::new(2, 2), SdPair::new(4, 7)])
+                .unwrap();
         let plan = router.plan(&perm).unwrap();
         let by_pair: std::collections::HashMap<SdPair, LogicalRoute> =
             plan.logical().iter().copied().collect();
@@ -478,5 +704,117 @@ mod tests {
             router.plan(&perm),
             Err(RoutingError::PortOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn masked_plan_matches_unmasked_on_pristine_view() {
+        let ft = big_m_ftree(3, 9);
+        let router = NonblockingAdaptive::new(&ft).unwrap();
+        let view = ftclos_topo::FaultyView::pristine(ft.topology());
+        let mut g = rng(7);
+        for _ in 0..10 {
+            let perm = patterns::random_full(27, &mut g);
+            let a = router.route_pattern(&perm).unwrap();
+            let b = router.route_pattern_masked(&perm, &view).unwrap();
+            assert_eq!(a.max_channel_load(), b.max_channel_load());
+            assert_eq!(b.len(), perm.len());
+        }
+    }
+
+    #[test]
+    fn masked_plan_routes_around_dead_top_with_spares() {
+        // ftree(3 + 12, 9): the Fig. 4 configuration width is (c+1)·n = 9,
+        // so m = 12 leaves a whole spare partition (tops 9..12) in a second
+        // configuration. Any single dead top must be fully absorbed.
+        let ft = Ftree::new(3, 12, 9).unwrap();
+        let router = NonblockingAdaptive::new(&ft).unwrap();
+        let mut g = rng(23);
+        for dead_top in 0..9usize {
+            let mut faults = ftclos_topo::FaultSet::new();
+            faults.fail_switch(ft.top(dead_top));
+            let view = ftclos_topo::FaultyView::new(ft.topology(), &faults);
+            for _ in 0..10 {
+                let perm = patterns::random_full(27, &mut g);
+                let a = router.route_pattern_masked(&perm, &view).unwrap();
+                assert!(
+                    a.max_channel_load() <= 1,
+                    "contention with dead top {dead_top}"
+                );
+                a.validate(ft.topology()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn masked_plan_dead_leaf_cable_is_no_live_path() {
+        let ft = Ftree::new(3, 12, 9).unwrap();
+        let router = NonblockingAdaptive::new(&ft).unwrap();
+        let mut faults = ftclos_topo::FaultSet::new();
+        faults.fail_channel(ft.leaf_up_channel(0, 0)); // leaf 0's uplink
+        let view = ftclos_topo::FaultyView::new(ft.topology(), &faults);
+        let perm = patterns::shift(27, 3);
+        let err = router
+            .plan_masked(&perm, &view, PlanStrategy::GreedyLargestSubset)
+            .unwrap_err();
+        assert!(matches!(err, RoutingError::NoLivePath { src: 0, .. }));
+    }
+
+    #[test]
+    fn masked_plan_distinguishes_no_live_path_from_not_enough_tops() {
+        let ft = Ftree::new(3, 12, 9).unwrap();
+        let router = NonblockingAdaptive::new(&ft).unwrap();
+        let coder = router.coder();
+        let pair = SdPair::new(0, 26); // switch 0 -> switch 8
+        let perm = Permutation::from_pairs(27, [pair]).unwrap();
+
+        // Kill exactly the slots the key discipline would assign to this
+        // pair: config 0 partitions 0..=c, plus the config-1 partition-0
+        // spare. Other tops stay alive, so the hardware is not exhausted —
+        // the *algorithm* is: NotEnoughTops.
+        let c = coder.c();
+        let n = ft.n();
+        let mut faults = ftclos_topo::FaultSet::new();
+        for pt in 0..=c {
+            let key = coder.partition_key(pair.dst, pt);
+            faults.fail_switch(ft.top(pt * n + key));
+        }
+        let spare_key = coder.partition_key(pair.dst, 0);
+        faults.fail_switch(ft.top((c + 1) * n + spare_key));
+        let view = ftclos_topo::FaultyView::new(ft.topology(), &faults);
+        let err = router
+            .plan_masked(&perm, &view, PlanStrategy::GreedyLargestSubset)
+            .unwrap_err();
+        assert!(matches!(err, RoutingError::NotEnoughTops { .. }), "{err}");
+
+        // Now kill *every* top switch: no hardware can serve the pair.
+        let mut all = ftclos_topo::FaultSet::new();
+        for t in 0..ft.m() {
+            all.fail_switch(ft.top(t));
+        }
+        let view = ftclos_topo::FaultyView::new(ft.topology(), &all);
+        let err = router
+            .plan_masked(&perm, &view, PlanStrategy::GreedyLargestSubset)
+            .unwrap_err();
+        assert!(matches!(err, RoutingError::NoLivePath { src: 0, dst: 26 }));
+    }
+
+    #[test]
+    fn materialize_masked_rejects_unmasked_plan_through_dead_top() {
+        // A plan computed blind to faults materializes onto dead hardware;
+        // the masked materializer names the offending pair and channel.
+        let ft = Ftree::new(3, 12, 9).unwrap();
+        let router = NonblockingAdaptive::new(&ft).unwrap();
+        let perm = patterns::random_full(27, &mut rng(31));
+        let plan = router.plan(&perm).unwrap();
+        let used_top = plan
+            .logical()
+            .iter()
+            .find_map(|&(_, route)| plan.top_index(route))
+            .expect("a full permutation uses some top switch");
+        let mut faults = ftclos_topo::FaultSet::new();
+        faults.fail_switch(ft.top(used_top));
+        let view = ftclos_topo::FaultyView::new(ft.topology(), &faults);
+        let err = router.materialize_masked(&plan, &view).unwrap_err();
+        assert!(matches!(err, RoutingError::PathFaulted { .. }));
     }
 }

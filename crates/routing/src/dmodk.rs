@@ -178,11 +178,7 @@ mod tests {
         // 4 and 8 (different switches, both ≡ 0 mod 4).
         let ft = Ftree::new(2, 4, 5).unwrap();
         let r = DModK::new(&ft);
-        let perm = Permutation::from_pairs(
-            10,
-            [SdPair::new(0, 4), SdPair::new(1, 8)],
-        )
-        .unwrap();
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 8)]).unwrap();
         let a = route_all(&r, &perm).unwrap();
         assert_eq!(a.max_channel_load(), 2, "shared uplink to top 0");
     }

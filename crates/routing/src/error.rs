@@ -1,5 +1,6 @@
 //! Error type for routing computations.
 
+use ftclos_topo::ChannelId;
 use std::fmt;
 
 /// Errors produced by routers.
@@ -28,6 +29,26 @@ pub enum RoutingError {
         /// The fabric's leaf count.
         ports: u32,
     },
+    /// The (single, pattern-independent) path of a deterministic router
+    /// crosses a failed channel: the pair is unroutable without changing
+    /// the routing algorithm.
+    PathFaulted {
+        /// Source port of the unroutable pair.
+        src: u32,
+        /// Destination port of the unroutable pair.
+        dst: u32,
+        /// The first failed channel on the pair's path.
+        channel: ChannelId,
+    },
+    /// Every candidate path of a multipath/adaptive router is dead for this
+    /// pair (e.g. the leaf's own cable failed): no routing algorithm can
+    /// connect it.
+    NoLivePath {
+        /// Source port.
+        src: u32,
+        /// Destination port.
+        dst: u32,
+    },
 }
 
 impl fmt::Display for RoutingError {
@@ -44,6 +65,20 @@ impl fmt::Display for RoutingError {
             }
             RoutingError::PortOutOfRange { port, ports } => {
                 write!(f, "port {port} out of range (fabric has {ports} leaves)")
+            }
+            RoutingError::PathFaulted { src, dst, channel } => {
+                write!(
+                    f,
+                    "pair {src} -> {dst} is unroutable: its deterministic path \
+                     crosses failed channel {}",
+                    channel.0
+                )
+            }
+            RoutingError::NoLivePath { src, dst } => {
+                write!(
+                    f,
+                    "pair {src} -> {dst} has no live path under the fault set"
+                )
             }
         }
     }
@@ -64,5 +99,13 @@ mod tests {
         assert!(e.to_string().contains("needs 9"));
         let e = RoutingError::PortOutOfRange { port: 5, ports: 4 };
         assert!(e.to_string().contains("port 5"));
+        let e = RoutingError::PathFaulted {
+            src: 1,
+            dst: 7,
+            channel: ChannelId(12),
+        };
+        assert!(e.to_string().contains("failed channel 12"));
+        let e = RoutingError::NoLivePath { src: 0, dst: 3 };
+        assert!(e.to_string().contains("no live path"));
     }
 }

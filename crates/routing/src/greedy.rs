@@ -59,9 +59,7 @@ impl PatternRouter for GreedyLocalAdaptive<'_> {
                         self.ft.leaf_down_channel(w, j),
                     ])
                 } else {
-                    let t = (0..m)
-                        .min_by_key(|&t| (uplink_load[t], t))
-                        .expect("m >= 1");
+                    let t = (0..m).min_by_key(|&t| (uplink_load[t], t)).expect("m >= 1");
                     uplink_load[t] += 1;
                     Path::new(vec![
                         self.ft.leaf_up_channel(v, i),
@@ -114,11 +112,7 @@ mod tests {
         // switches both pick top 0 first and send to the same dest switch.
         let ft = Ftree::new(2, 2, 4).unwrap();
         let r = GreedyLocalAdaptive::new(&ft);
-        let perm = Permutation::from_pairs(
-            8,
-            [SdPair::new(0, 6), SdPair::new(2, 7)],
-        )
-        .unwrap();
+        let perm = Permutation::from_pairs(8, [SdPair::new(0, 6), SdPair::new(2, 7)]).unwrap();
         let a = r.route_pattern(&perm).unwrap();
         assert_eq!(a.max_channel_load(), 2, "downlink into switch 3 shared");
     }
@@ -155,8 +149,7 @@ mod tests {
     fn self_and_local_pairs() {
         let ft = Ftree::new(2, 2, 4).unwrap();
         let r = GreedyLocalAdaptive::new(&ft);
-        let perm =
-            Permutation::from_pairs(8, [SdPair::new(0, 0), SdPair::new(2, 3)]).unwrap();
+        let perm = Permutation::from_pairs(8, [SdPair::new(0, 0), SdPair::new(2, 3)]).unwrap();
         // (2, 3) is same-switch (both in switch 1): local two-hop path.
         let a = r.route_pattern(&perm).unwrap();
         assert_eq!(a.path_of(SdPair::new(0, 0)).unwrap().len(), 0);

@@ -31,6 +31,7 @@ pub mod adaptive;
 pub mod assignment;
 pub mod dmodk;
 pub mod error;
+pub mod fault_aware;
 pub mod greedy;
 pub mod multipath;
 pub mod path;
@@ -45,6 +46,7 @@ pub use adaptive::{AdaptivePlan, NonblockingAdaptive, PlanStrategy};
 pub use assignment::RouteAssignment;
 pub use dmodk::{DModK, SModK};
 pub use error::RoutingError;
+pub use fault_aware::FaultAware;
 pub use greedy::GreedyLocalAdaptive;
 pub use multipath::{MultipathAssignment, ObliviousMultipath, SpreadPolicy};
 pub use path::Path;

@@ -10,7 +10,7 @@
 
 use crate::error::RoutingError;
 use crate::path::Path;
-use ftclos_topo::{ChannelId, Ftree};
+use ftclos_topo::{ChannelId, FaultyView, Ftree};
 use ftclos_traffic::{Permutation, SdPair};
 use rand::Rng;
 use std::collections::HashMap;
@@ -92,6 +92,49 @@ impl<'a> ObliviousMultipath<'a> {
         candidates[idx].clone()
     }
 
+    /// Candidate paths for `pair` with dead candidates masked out: a
+    /// spreader with local liveness information simply stops using paths
+    /// that cross failed hardware.
+    ///
+    /// # Errors
+    /// [`RoutingError::NoLivePath`] when every candidate is dead (for
+    /// cross-switch pairs that means all `m` top switches are unreachable;
+    /// for local pairs, the leaf cable itself).
+    pub fn paths_masked(
+        &self,
+        pair: SdPair,
+        view: &FaultyView<'_>,
+    ) -> Result<Vec<Path>, RoutingError> {
+        let live: Vec<Path> = self
+            .paths(pair)
+            .into_iter()
+            .filter(|p| view.path_alive(p.channels()).is_ok())
+            .collect();
+        if live.is_empty() {
+            return Err(RoutingError::NoLivePath {
+                src: pair.src,
+                dst: pair.dst,
+            });
+        }
+        Ok(live)
+    }
+
+    /// The path the `seq`-th packet takes, skipping dead candidates.
+    pub fn packet_path_masked<R: Rng>(
+        &self,
+        pair: SdPair,
+        seq: u64,
+        rng: &mut R,
+        view: &FaultyView<'_>,
+    ) -> Result<Path, RoutingError> {
+        let candidates = self.paths_masked(pair, view)?;
+        let idx = match self.policy {
+            SpreadPolicy::RoundRobin => (seq % candidates.len() as u64) as usize,
+            SpreadPolicy::Random => rng.gen_range(0..candidates.len()),
+        };
+        Ok(candidates[idx].clone())
+    }
+
     /// Spread a whole pattern: each pair is associated with its full
     /// candidate set.
     pub fn spread_pattern(&self, perm: &Permutation) -> Result<MultipathAssignment, RoutingError> {
@@ -106,6 +149,31 @@ impl<'a> ObliviousMultipath<'a> {
                 }
             }
             entries.push((pair, self.paths(pair)));
+        }
+        Ok(MultipathAssignment { entries })
+    }
+
+    /// Spread a whole pattern with dead candidates masked per pair.
+    ///
+    /// # Errors
+    /// [`RoutingError::PortOutOfRange`] for bad pairs and
+    /// [`RoutingError::NoLivePath`] when some pair loses all candidates.
+    pub fn spread_pattern_masked(
+        &self,
+        perm: &Permutation,
+        view: &FaultyView<'_>,
+    ) -> Result<MultipathAssignment, RoutingError> {
+        let mut entries = Vec::with_capacity(perm.len());
+        for &pair in perm.pairs() {
+            for port in [pair.src, pair.dst] {
+                if port >= self.ports() {
+                    return Err(RoutingError::PortOutOfRange {
+                        port,
+                        ports: self.ports(),
+                    });
+                }
+            }
+            entries.push((pair, self.paths_masked(pair, view)?));
         }
         Ok(MultipathAssignment { entries })
     }
@@ -199,8 +267,12 @@ mod tests {
         assert_eq!(r.paths(SdPair::new(0, 0)).len(), 1);
         assert!(r.paths(SdPair::new(0, 0))[0].is_empty());
         for p in r.paths(SdPair::new(0, 4)) {
-            p.validate(ft.topology(), ftclos_topo::NodeId(0), ftclos_topo::NodeId(4))
-                .unwrap();
+            p.validate(
+                ft.topology(),
+                ftclos_topo::NodeId(0),
+                ftclos_topo::NodeId(4),
+            )
+            .unwrap();
         }
     }
 
@@ -249,8 +321,7 @@ mod tests {
         // uplink of the source switch -> violation regardless of m.
         let ft = Ftree::new(2, 100, 5).unwrap();
         let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
-        let perm =
-            Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
         let a = r.spread_pattern(&perm).unwrap();
         let (c, p1, p2) = a.lemma1_violation().expect("must find witness");
         assert_ne!(p1.src, p2.src);
@@ -269,8 +340,7 @@ mod tests {
         // With spreading over all tops, cross-switch pairs from different
         // sources to different dest switches still share top->dst? No:
         // downlinks differ by dest switch; uplinks differ by source switch.
-        let perm =
-            Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(6, 8)]).unwrap();
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(6, 8)]).unwrap();
         let a = r.spread_pattern(&perm).unwrap();
         assert!(a.lemma1_violation().is_none());
     }
@@ -281,5 +351,62 @@ mod tests {
         let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
         let perm = Permutation::from_pairs(11, [SdPair::new(0, 10)]).unwrap();
         assert!(r.spread_pattern(&perm).is_err());
+    }
+
+    #[test]
+    fn masked_candidates_drop_dead_top() {
+        let ft = Ftree::new(2, 3, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin);
+        let mut faults = ftclos_topo::FaultSet::new();
+        faults.fail_switch(ft.top(1));
+        let view = ftclos_topo::FaultyView::new(ft.topology(), &faults);
+        let pair = SdPair::new(0, 4);
+        let live = r.paths_masked(pair, &view).unwrap();
+        assert_eq!(live.len(), 2, "one candidate per surviving top");
+        for p in &live {
+            view.path_alive(p.channels()).unwrap();
+        }
+        // Round-robin spreading cycles over the surviving candidates only.
+        let mut g = rng();
+        for seq in 0..6 {
+            let p = r.packet_path_masked(pair, seq, &mut g, &view).unwrap();
+            view.path_alive(p.channels()).unwrap();
+        }
+    }
+
+    #[test]
+    fn masked_dead_leaf_cable_is_no_live_path() {
+        let ft = Ftree::new(2, 3, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let mut faults = ftclos_topo::FaultSet::new();
+        faults.fail_channel(ft.leaf_up_channel(0, 0));
+        let view = ftclos_topo::FaultyView::new(ft.topology(), &faults);
+        assert!(matches!(
+            r.paths_masked(SdPair::new(0, 4), &view),
+            Err(RoutingError::NoLivePath { src: 0, dst: 4 })
+        ));
+        // A pair whose leaf cables survive is unaffected.
+        assert_eq!(r.paths_masked(SdPair::new(1, 5), &view).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn masked_spread_pattern_avoids_all_dead_channels() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let r = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let faults = ftclos_topo::FaultSet::random_links(ft.topology(), 3, 0xFA17);
+        let view = ftclos_topo::FaultyView::new(ft.topology(), &faults);
+        let perm = ftclos_traffic::patterns::shift(10, 3);
+        match r.spread_pattern_masked(&perm, &view) {
+            Ok(a) => {
+                for (_, candidates) in a.entries() {
+                    for p in candidates {
+                        view.path_alive(p.channels()).unwrap();
+                    }
+                }
+            }
+            // Random links may have severed a leaf cable outright.
+            Err(RoutingError::NoLivePath { .. }) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
     }
 }

@@ -59,7 +59,10 @@ impl Path {
         for &c in &self.channels[1..] {
             let ch = topo.channel(c);
             if ch.src != at {
-                return Err(format!("discontinuity: at {at} but channel starts at {}", ch.src));
+                return Err(format!(
+                    "discontinuity: at {at} but channel starts at {}",
+                    ch.src
+                ));
             }
             at = ch.dst;
         }
@@ -88,9 +91,7 @@ impl Path {
     pub fn shares_channel_with(&self, other: &Path) -> bool {
         // Paths are short (<= 6 hops in 3-level networks); quadratic scan
         // beats hashing here.
-        self.channels
-            .iter()
-            .any(|c| other.channels.contains(c))
+        self.channels.iter().any(|c| other.channels.contains(c))
     }
 }
 
@@ -116,7 +117,8 @@ mod tests {
             ft.down_channel(1, 2),
             ft.leaf_down_channel(2, 1),
         ]);
-        p.validate(ft.topology(), ft.leaf(0, 0), ft.leaf(2, 1)).unwrap();
+        p.validate(ft.topology(), ft.leaf(0, 0), ft.leaf(2, 1))
+            .unwrap();
         assert_eq!(p.len(), 4);
         let nodes = p.nodes(ft.topology());
         assert_eq!(nodes.len(), 5);
@@ -137,9 +139,14 @@ mod tests {
     fn validate_endpoints() {
         let ft = Ftree::new(2, 2, 3).unwrap();
         let p = Path::new(vec![ft.leaf_up_channel(0, 0)]);
-        assert!(p.validate(ft.topology(), ft.leaf(0, 1), ft.bottom(0)).is_err());
-        assert!(p.validate(ft.topology(), ft.leaf(0, 0), ft.bottom(1)).is_err());
-        p.validate(ft.topology(), ft.leaf(0, 0), ft.bottom(0)).unwrap();
+        assert!(p
+            .validate(ft.topology(), ft.leaf(0, 1), ft.bottom(0))
+            .is_err());
+        assert!(p
+            .validate(ft.topology(), ft.leaf(0, 0), ft.bottom(1))
+            .is_err());
+        p.validate(ft.topology(), ft.leaf(0, 0), ft.bottom(0))
+            .unwrap();
     }
 
     #[test]
@@ -147,8 +154,11 @@ mod tests {
         let ft = Ftree::new(2, 2, 3).unwrap();
         let p = Path::empty();
         assert!(p.is_empty());
-        p.validate(ft.topology(), ft.leaf(0, 0), ft.leaf(0, 0)).unwrap();
-        assert!(p.validate(ft.topology(), ft.leaf(0, 0), ft.leaf(0, 1)).is_err());
+        p.validate(ft.topology(), ft.leaf(0, 0), ft.leaf(0, 0))
+            .unwrap();
+        assert!(p
+            .validate(ft.topology(), ft.leaf(0, 0), ft.leaf(0, 1))
+            .is_err());
         assert!(p.nodes(ft.topology()).is_empty());
     }
 

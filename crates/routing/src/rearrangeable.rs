@@ -29,7 +29,11 @@ impl<'a> RearrangeableRouter<'a> {
         if ft.m() < ft.n() {
             return Err(RoutingError::Precondition {
                 router: "RearrangeableRouter",
-                detail: format!("Beneš condition m >= n violated (m = {}, n = {})", ft.m(), ft.n()),
+                detail: format!(
+                    "Beneš condition m >= n violated (m = {}, n = {})",
+                    ft.m(),
+                    ft.n()
+                ),
             });
         }
         Ok(Self { ft })
@@ -243,8 +247,7 @@ mod tests {
         // A pattern of degree 1 routes entirely through top 0.
         let ft = Ftree::new(3, 3, 4).unwrap();
         let router = RearrangeableRouter::new(&ft).unwrap();
-        let perm =
-            Permutation::from_pairs(12, [SdPair::new(0, 3), SdPair::new(3, 0)]).unwrap();
+        let perm = Permutation::from_pairs(12, [SdPair::new(0, 3), SdPair::new(3, 0)]).unwrap();
         let a = router.route_pattern(&perm).unwrap();
         let tops = a.tops_used(ft.topology());
         assert_eq!(tops.len(), 1);
@@ -267,8 +270,7 @@ mod tests {
     fn local_and_self_pairs() {
         let ft = Ftree::new(2, 2, 3).unwrap();
         let router = RearrangeableRouter::new(&ft).unwrap();
-        let perm =
-            Permutation::from_pairs(6, [SdPair::new(0, 1), SdPair::new(3, 3)]).unwrap();
+        let perm = Permutation::from_pairs(6, [SdPair::new(0, 1), SdPair::new(3, 3)]).unwrap();
         let a = router.route_pattern(&perm).unwrap();
         assert_eq!(a.path_of(SdPair::new(0, 1)).unwrap().len(), 2);
         assert!(a.path_of(SdPair::new(3, 3)).unwrap().is_empty());

@@ -155,8 +155,13 @@ mod tests {
         let net = RecursiveNonblocking::new(2).unwrap();
         let router = YuanRecursive::new(&net);
         let ports = net.num_leaves() as u32;
-        let mut per_channel: std::collections::HashMap<u32, (std::collections::HashSet<u32>, std::collections::HashSet<u32>)> =
-            std::collections::HashMap::new();
+        let mut per_channel: std::collections::HashMap<
+            u32,
+            (
+                std::collections::HashSet<u32>,
+                std::collections::HashSet<u32>,
+            ),
+        > = std::collections::HashMap::new();
         for s in 0..ports {
             for d in 0..ports {
                 if s == d {

@@ -289,9 +289,7 @@ mod tests {
         let router = XgftRouter::dmod(&t);
         let witness = ftclos_traffic::enumerate::TwoPairs::new(8, true).find(|perm| {
             let [a, b] = perm.pairs() else { return false };
-            router
-                .route(*a)
-                .shares_channel_with(&router.route(*b))
+            router.route(*a).shares_channel_with(&router.route(*b))
         });
         assert!(witness.is_some(), "k-ary n-tree + d-mod must block");
     }

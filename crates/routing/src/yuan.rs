@@ -119,7 +119,8 @@ mod tests {
         assert_eq!(r.top_for(pair), 2);
         let path = r.route(pair);
         assert_eq!(path.len(), 4);
-        path.validate(ft.topology(), ft.leaf(0, 1), ft.leaf(3, 0)).unwrap();
+        path.validate(ft.topology(), ft.leaf(0, 1), ft.leaf(3, 0))
+            .unwrap();
         let nodes = path.nodes(ft.topology());
         assert_eq!(nodes[2], ft.top_ij(1, 0));
     }
@@ -130,7 +131,8 @@ mod tests {
         let r = YuanDeterministic::new(&ft).unwrap();
         let path = r.route(SdPair::new(2, 3)); // both in switch 1
         assert_eq!(path.len(), 2);
-        path.validate(ft.topology(), ft.leaf(1, 0), ft.leaf(1, 1)).unwrap();
+        path.validate(ft.topology(), ft.leaf(1, 0), ft.leaf(1, 1))
+            .unwrap();
     }
 
     #[test]

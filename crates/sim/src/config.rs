@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// Switch arbitration discipline.
@@ -45,6 +46,18 @@ pub struct SimConfig {
     /// packets still queued then are reported as
     /// `SimStats::leftover_packets`.
     pub drain: bool,
+    /// Per-attempt packet time-to-live in cycles; a packet that has not been
+    /// delivered `ttl_cycles` after its (re)injection is dropped where it
+    /// waits. 0 disables timeouts (packets wait forever — the pre-fault
+    /// model).
+    pub ttl_cycles: u64,
+    /// Retransmit timed-out packets from their source (with a fresh path
+    /// pick, so spreading policies can route around a failure). Requires
+    /// `ttl_cycles > 0` and `retry_limit > 0`.
+    pub retry: bool,
+    /// Maximum retransmissions per packet when `retry` is on; once
+    /// exhausted the packet is abandoned (`SimStats::abandoned_total`).
+    pub retry_limit: u32,
 }
 
 impl Default for SimConfig {
@@ -57,6 +70,9 @@ impl Default for SimConfig {
             packet_flits: 1,
             arbiter: Arbiter::HolFifo,
             drain: false,
+            ttl_cycles: 0,
+            retry: false,
+            retry_limit: 0,
         }
     }
 }
@@ -68,6 +84,34 @@ impl SimConfig {
     /// Total injection cycles (warm-up + measurement; drain excluded).
     pub fn total_cycles(&self) -> u64 {
         self.warmup_cycles + self.measure_cycles
+    }
+
+    /// Self-check: reject configurations the engine cannot execute
+    /// meaningfully.
+    ///
+    /// # Errors
+    /// * [`ConfigError::ZeroQueueCapacity`] — zero-size queues deadlock
+    ///   every switch output (no downstream credit can ever exist),
+    /// * [`ConfigError::ZeroPacketFlits`] — a packet must occupy a wire for
+    ///   at least one cycle,
+    /// * [`ConfigError::ZeroRetryLimit`] — retries enabled with a limit of
+    ///   0 silently degrade to no-retry,
+    /// * [`ConfigError::RetryWithoutTimeout`] — retransmission can only
+    ///   trigger from a timeout, so `retry` requires `ttl_cycles > 0`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.packet_flits == 0 {
+            return Err(ConfigError::ZeroPacketFlits);
+        }
+        if self.retry && self.retry_limit == 0 {
+            return Err(ConfigError::ZeroRetryLimit);
+        }
+        if self.retry && self.ttl_cycles == 0 {
+            return Err(ConfigError::RetryWithoutTimeout);
+        }
+        Ok(())
     }
 }
 
@@ -82,5 +126,57 @@ mod tests {
         assert!(!c.bounded_injection);
         assert!(c.queue_capacity > 0);
         assert_eq!(c.packet_flits, 1);
+        assert_eq!(c.ttl_cycles, 0);
+        assert!(!c.retry);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let base = SimConfig::default();
+        assert_eq!(
+            SimConfig {
+                queue_capacity: 0,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::ZeroQueueCapacity)
+        );
+        assert_eq!(
+            SimConfig {
+                packet_flits: 0,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::ZeroPacketFlits)
+        );
+        assert_eq!(
+            SimConfig {
+                retry: true,
+                retry_limit: 0,
+                ttl_cycles: 64,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::ZeroRetryLimit)
+        );
+        assert_eq!(
+            SimConfig {
+                retry: true,
+                retry_limit: 3,
+                ttl_cycles: 0,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::RetryWithoutTimeout)
+        );
+        SimConfig {
+            retry: true,
+            retry_limit: 3,
+            ttl_cycles: 64,
+            ..base
+        }
+        .validate()
+        .unwrap();
     }
 }

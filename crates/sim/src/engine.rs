@@ -1,6 +1,8 @@
 //! The synchronous cycle engine.
 
 use crate::config::{Arbiter, SimConfig};
+use crate::error::SimError;
+use crate::fault::FaultSchedule;
 use crate::policy::Policy;
 use crate::stats::SimStats;
 use crate::workload::Workload;
@@ -13,6 +15,7 @@ use std::sync::Arc;
 /// One in-flight packet.
 #[derive(Clone, Debug)]
 struct Packet {
+    src: u32,
     dst: u32,
     path: Arc<[ChannelId]>,
     /// Index of the next channel to traverse.
@@ -21,6 +24,10 @@ struct Packet {
     /// Earliest cycle at which the packet may be granted its next hop
     /// (enforces one hop per cycle and multi-flit serialization).
     ready_at: u64,
+    /// Cycle at which this attempt times out (`u64::MAX` when TTL is off).
+    deadline: u64,
+    /// Retransmissions already consumed.
+    retries: u32,
 }
 
 /// Cycle-level simulator over a [`Topology`] with a path [`Policy`].
@@ -40,7 +47,45 @@ impl<'a> Simulator<'a> {
     /// Run one simulation and return its statistics. `seed` drives
     /// injection coin flips and random path spreading; equal seeds give
     /// identical runs.
+    ///
+    /// # Panics
+    /// On an invalid configuration or a broken engine invariant — use
+    /// [`Simulator::try_run`] for the structured-error form.
     pub fn run(&mut self, workload: &Workload, seed: u64) -> SimStats {
+        match self.try_run(workload, seed) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Simulator::run`]: configuration problems and engine
+    /// invariant violations come back as [`SimError`] instead of panics.
+    ///
+    /// # Errors
+    /// [`SimError::Config`] for an invalid [`SimConfig`];
+    /// [`SimError::Invariant`] if the engine catches itself in an
+    /// inconsistent state.
+    pub fn try_run(&mut self, workload: &Workload, seed: u64) -> Result<SimStats, SimError> {
+        self.try_run_with_faults(workload, seed, &FaultSchedule::new())
+    }
+
+    /// Run with mid-simulation channel deaths: each event of `faults` marks
+    /// its channel dead at the start of its cycle. Dead channels grant no
+    /// packets; stalled traffic is dropped/retried per the TTL and retry
+    /// knobs of the configuration.
+    ///
+    /// # Errors
+    /// As for [`Simulator::try_run`].
+    pub fn try_run_with_faults(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        faults: &FaultSchedule,
+    ) -> Result<SimStats, SimError> {
+        self.cfg.validate()?;
+        let fault_events = faults.sorted_events();
+        let mut next_fault = 0usize;
+        let ttl = self.cfg.ttl_cycles;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let num_channels = self.topo.num_channels();
         let leaves: Vec<NodeId> = self.topo.leaves().collect();
@@ -59,6 +104,8 @@ impl<'a> Simulator<'a> {
         let mut accept_ptr = vec![0u32; num_channels];
         // Multi-flit serialization: a channel is busy until this cycle.
         let mut busy_until = vec![0u64; num_channels];
+        // Channels killed by fault events grant no further packets.
+        let mut dead = vec![false; num_channels];
         let flits = self.cfg.packet_flits.max(1);
         let mut source_injected = vec![false; leaves.len()];
         let mut window_latencies: Vec<u64> = Vec::new();
@@ -81,13 +128,77 @@ impl<'a> Simulator<'a> {
         loop {
             if now >= total {
                 // Drain: run movement-only until the network empties.
-                let inflight = stats.injected_total - stats.delivered_total;
+                let inflight = stats.injected_total - stats.delivered_total - stats.abandoned_total;
                 if !self.cfg.drain || inflight == 0 || now >= total + SimConfig::DRAIN_CAP {
                     break;
                 }
             }
             let in_window = now >= warmup && now < total;
             let injecting = now < total;
+            // --- Fault events: channels scheduled to die by now go dead ---
+            while next_fault < fault_events.len() && fault_events[next_fault].cycle <= now {
+                let c = fault_events[next_fault].channel;
+                if c.index() < num_channels {
+                    dead[c.index()] = true;
+                }
+                next_fault += 1;
+            }
+            // --- Timeout sweep: expire packets past their deadline ---
+            if ttl > 0 {
+                let mut expired: Vec<Packet> = Vec::new();
+                for q in queues.iter_mut().chain(inject.iter_mut()) {
+                    let mut i = 0;
+                    while i < q.len() {
+                        if now >= q[i].deadline {
+                            let Some(p) = q.remove(i) else {
+                                return Err(SimError::invariant(
+                                    "expired packet index out of range",
+                                ));
+                            };
+                            expired.push(p);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                for p in expired {
+                    stats.timed_out_total += 1;
+                    let can_retry = self.cfg.retry && p.retries < self.cfg.retry_limit;
+                    if !can_retry {
+                        stats.abandoned_total += 1;
+                        continue;
+                    }
+                    // Retransmit from the source with a *fresh* path pick:
+                    // spreading policies get a new chance to dodge dead
+                    // hardware. Latency keeps the original injection time.
+                    let queue_probe = |c: ChannelId| queues[c.index()].len();
+                    match self.policy.pick(p.src, p.dst, queue_probe, &mut rng) {
+                        Some(path) if !path.is_empty() => {
+                            stats.retries_total += 1;
+                            let slot = leaf_slot[p.src as usize];
+                            if slot == usize::MAX {
+                                return Err(SimError::invariant(format!(
+                                    "retransmission source {} is not a leaf",
+                                    p.src
+                                )));
+                            }
+                            inject[slot].push_back(Packet {
+                                src: p.src,
+                                dst: p.dst,
+                                path,
+                                hop: 0,
+                                inject_cycle: p.inject_cycle,
+                                ready_at: now,
+                                deadline: now + ttl,
+                                retries: p.retries + 1,
+                            });
+                        }
+                        _ => {
+                            stats.abandoned_total += 1;
+                        }
+                    }
+                }
+            }
             // --- Injection phase ---
             for (slot, &leaf) in leaves.iter().enumerate() {
                 if !injecting {
@@ -123,11 +234,14 @@ impl<'a> Simulator<'a> {
                     continue;
                 }
                 inject[slot].push_back(Packet {
+                    src,
                     dst,
                     path,
                     hop: 0,
                     inject_cycle: now,
                     ready_at: now,
+                    deadline: if ttl > 0 { now + ttl } else { u64::MAX },
+                    retries: 0,
                 });
             }
 
@@ -139,7 +253,7 @@ impl<'a> Simulator<'a> {
                     continue;
                 };
                 let o = up.index();
-                if busy_until[o] > now || queues[o].len() >= self.cfg.queue_capacity {
+                if busy_until[o] > now || dead[o] || queues[o].len() >= self.cfg.queue_capacity {
                     continue;
                 }
                 let q = &mut inject[slot];
@@ -148,7 +262,11 @@ impl<'a> Simulator<'a> {
                     Some(p) if p.ready_at <= now && p.path[p.hop] == up
                 );
                 if eligible {
-                    let p = q.pop_front().expect("checked above");
+                    let Some(p) = q.pop_front() else {
+                        return Err(SimError::invariant(
+                            "eligible injection-queue head disappeared",
+                        ));
+                    };
                     self.advance(
                         p,
                         o,
@@ -159,15 +277,15 @@ impl<'a> Simulator<'a> {
                         &mut busy_until,
                         &mut stats,
                         &mut window_latencies,
-                    );
+                    )?;
                 }
             }
             // Switch outputs.
             match self.cfg.arbiter {
                 Arbiter::HolFifo => {
                     for o in 0..num_channels {
-                        if busy_until[o] > now {
-                            continue; // a multi-flit packet occupies the wire
+                        if busy_until[o] > now || dead[o] {
+                            continue; // wire occupied, or killed by a fault
                         }
                         let ch = self.topo.channel(ChannelId(o as u32));
                         if self.topo.kind(ch.src).is_leaf() {
@@ -190,7 +308,11 @@ impl<'a> Simulator<'a> {
                                     && p.path[p.hop] == ChannelId(o as u32)
                             );
                             if head_ok {
-                                let p = q.pop_front().expect("checked above");
+                                let Some(p) = q.pop_front() else {
+                                    return Err(SimError::invariant(
+                                        "eligible input-queue head disappeared",
+                                    ));
+                                };
                                 rr[o] = (idx as u32 + 1) % n_in as u32;
                                 self.advance(
                                     p,
@@ -202,7 +324,7 @@ impl<'a> Simulator<'a> {
                                     &mut busy_until,
                                     &mut stats,
                                     &mut window_latencies,
-                                );
+                                )?;
                                 break;
                             }
                         }
@@ -218,21 +340,23 @@ impl<'a> Simulator<'a> {
                             in_window,
                             &mut queues,
                             &mut busy_until,
+                            &dead,
                             &mut rr,
                             &mut accept_ptr,
                             &mut stats,
                             &mut window_latencies,
-                        );
+                        )?;
                     }
                 }
             }
             now += 1;
         }
-        stats.leftover_packets = stats.injected_total - stats.delivered_total;
+        stats.leftover_packets =
+            stats.injected_total - stats.delivered_total - stats.abandoned_total;
         stats.active_sources = source_injected.iter().filter(|&&b| b).count();
         window_latencies.sort_unstable();
         self.finish_stats(&mut stats, &window_latencies);
-        stats
+        Ok(stats)
     }
 
     /// Fill in percentile fields from sorted window latencies.
@@ -263,7 +387,7 @@ impl<'a> Simulator<'a> {
         busy_until: &mut [u64],
         stats: &mut SimStats,
         window_latencies: &mut Vec<u64>,
-    ) {
+    ) -> Result<(), SimError> {
         let ch = self.topo.channel(ChannelId(o as u32));
         let to_leaf = self.topo.kind(ch.dst).is_leaf();
         p.hop += 1;
@@ -275,8 +399,19 @@ impl<'a> Simulator<'a> {
             stats.channel_busy[o] += flits;
         }
         if to_leaf {
-            debug_assert_eq!(ch.dst.0, p.dst, "path must end at the destination");
-            debug_assert_eq!(p.hop, p.path.len());
+            if ch.dst.0 != p.dst {
+                return Err(SimError::invariant(format!(
+                    "packet for leaf {} exited the fabric at leaf {}",
+                    p.dst, ch.dst.0
+                )));
+            }
+            if p.hop != p.path.len() {
+                return Err(SimError::invariant(format!(
+                    "packet reached its destination after hop {} of a {}-hop path",
+                    p.hop,
+                    p.path.len()
+                )));
+            }
             stats.delivered_total += 1;
             if in_window {
                 stats.delivered_in_window += 1;
@@ -288,6 +423,7 @@ impl<'a> Simulator<'a> {
         } else {
             queues[o].push_back(p);
         }
+        Ok(())
     }
 
     /// One cycle of iSLIP request-grant-accept matching on switch `sw`,
@@ -307,15 +443,16 @@ impl<'a> Simulator<'a> {
         in_window: bool,
         queues: &mut [VecDeque<Packet>],
         busy_until: &mut [u64],
+        dead: &[bool],
         grant_ptr: &mut [u32],
         accept_ptr: &mut [u32],
         stats: &mut SimStats,
         window_latencies: &mut Vec<u64>,
-    ) {
+    ) -> Result<(), SimError> {
         let inputs = self.topo.in_channels(sw);
         let outputs = self.topo.out_channels(sw);
         if inputs.is_empty() || outputs.is_empty() {
-            return;
+            return Ok(());
         }
         // Output-channel index -> local output slot.
         let out_slot = |c: ChannelId| outputs.iter().position(|&o| o == c);
@@ -341,7 +478,7 @@ impl<'a> Simulator<'a> {
         let out_ok: Vec<bool> = outputs
             .iter()
             .map(|&o| {
-                if busy_until[o.index()] > now {
+                if busy_until[o.index()] > now || dead[o.index()] {
                     return false;
                 }
                 let ch = self.topo.channel(o);
@@ -384,10 +521,12 @@ impl<'a> Simulator<'a> {
                 }
                 let qi = inputs[ii];
                 let start = accept_ptr[qi.index()] as usize % outputs.len();
-                let oj = *granted
+                let Some(&oj) = granted
                     .iter()
                     .min_by_key(|&&oj| (oj + outputs.len() - start) % outputs.len())
-                    .expect("non-empty");
+                else {
+                    return Err(SimError::invariant("grant list emptied during accept"));
+                };
                 in_matched[ii] = true;
                 out_matched[oj] = true;
                 matches.push((ii, oj));
@@ -399,10 +538,14 @@ impl<'a> Simulator<'a> {
         }
         // Move matched packets.
         for (ii, oj) in matches {
-            let pos = voq_head[ii][oj].expect("matched implies eligible");
-            let p = queues[inputs[ii].index()]
-                .remove(pos)
-                .expect("position is in range");
+            let Some(pos) = voq_head[ii][oj] else {
+                return Err(SimError::invariant(
+                    "iSLIP matched an input with no eligible VOQ head",
+                ));
+            };
+            let Some(p) = queues[inputs[ii].index()].remove(pos) else {
+                return Err(SimError::invariant("iSLIP VOQ head position out of range"));
+            };
             self.advance(
                 p,
                 outputs[oj].index(),
@@ -413,18 +556,16 @@ impl<'a> Simulator<'a> {
                 busy_until,
                 stats,
                 window_latencies,
-            );
+            )?;
         }
+        Ok(())
     }
-
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftclos_routing::{
-        DModK, ObliviousMultipath, SpreadPolicy, YuanDeterministic,
-    };
+    use ftclos_routing::{DModK, ObliviousMultipath, SpreadPolicy, YuanDeterministic};
     use ftclos_topo::{crossbar, Ftree};
     use ftclos_traffic::{adversarial, patterns};
 
@@ -501,8 +642,8 @@ mod tests {
         // same-parity attack instead: shift by one switch AND swap local
         // index... simpler: uniform random traffic saturates below 1.
         let uni = Workload::uniform_random(10, 1.0);
-        let stats_uni = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
-            .run(&uni, 4);
+        let stats_uni =
+            Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router)).run(&uni, 4);
         assert!(stats_uni.accepted_throughput() < 0.95);
         // The permutation case is a sanity run (no assertion on value).
         assert!(stats.delivered_total > 0);
@@ -551,10 +692,8 @@ mod tests {
         )
         .unwrap();
         let w = Workload::permutation(&perm, 1.0);
-        let s1 = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&single))
-            .run(&w, 7);
-        let s2 = Simulator::new(ft.topology(), cfg(), Policy::from_multipath(&mp, true))
-            .run(&w, 7);
+        let s1 = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&single)).run(&w, 7);
+        let s2 = Simulator::new(ft.topology(), cfg(), Policy::from_multipath(&mp, true)).run(&w, 7);
         assert!(
             s1.accepted_throughput() < 0.35,
             "d-mod-k should funnel: {}",
@@ -652,7 +791,10 @@ mod tests {
         );
         // Our VOQs share one per-input buffer, so iSLIP-1 approaches line
         // rate only as buffers deepen; 3 iterations get there already.
-        assert!(islip1 > hol + 0.1, "iSLIP-1 {islip1} must clearly beat HOL {hol}");
+        assert!(
+            islip1 > hol + 0.1,
+            "iSLIP-1 {islip1} must clearly beat HOL {hol}"
+        );
         assert!(islip3 > 0.93, "iSLIP-3 {islip3} should approach line rate");
     }
 
@@ -671,9 +813,8 @@ mod tests {
             crate::config::Arbiter::Voq { iterations: 3 },
         ] {
             let config = SimConfig { arbiter, ..cfg() };
-            let stats =
-                Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
-                    .run(&w, 33);
+            let stats = Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+                .run(&w, 33);
             assert!(
                 stats.accepted_throughput() > 0.95,
                 "{arbiter:?}: {}",
@@ -703,7 +844,10 @@ mod tests {
         .run(&uni, 35)
         .accepted_throughput();
         assert!(voq > hol, "VOQ {voq} should beat HOL {hol}");
-        assert!(voq < 0.98, "still not a crossbar: routing is the bottleneck");
+        assert!(
+            voq < 0.98,
+            "still not a crossbar: routing is the bottleneck"
+        );
     }
 
     #[test]
@@ -749,7 +893,10 @@ mod tests {
             stats.delivered_total + stats.leftover_packets,
             "conservation with in-flight remainder"
         );
-        assert!(stats.leftover_packets > 0, "congested run leaves packets queued");
+        assert!(
+            stats.leftover_packets > 0,
+            "congested run leaves packets queued"
+        );
     }
 
     #[test]
@@ -758,10 +905,145 @@ mod tests {
         let router = YuanDeterministic::new(&ft).unwrap();
         let perm = patterns::shift(10, 2);
         let w = Workload::permutation(&perm, 0.5);
-        let a = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
-            .run(&w, 11);
-        let b = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
-            .run(&w, 11);
+        let a = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router)).run(&w, 11);
+        let b = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router)).run(&w, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_run_rejects_invalid_config() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let bad = SimConfig {
+            queue_capacity: 0,
+            ..SimConfig::default()
+        };
+        let err = Simulator::new(ft.topology(), bad, Policy::from_single_path(&router))
+            .try_run(&Workload::uniform_random(10, 0.5), 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::SimError::Config(crate::ConfigError::ZeroQueueCapacity)
+        );
+    }
+
+    #[test]
+    fn midrun_fault_with_retry_reroutes_multipath() {
+        // Kill one uplink of switch 0 mid-run. The random multipath policy
+        // re-picks on every retransmission, so timed-out packets eventually
+        // dodge the dead channel and still get delivered. VOQ arbitration
+        // matters here: under HOL FIFO a dead-destined head blocks its whole
+        // input queue for a full TTL, collateral timeouts retransmit, and
+        // the retry storm feeds on itself. The TTL is also sized so
+        // dead-destined packets expire before they clog the shared input
+        // buffer (accumulation rate x TTL < queue capacity).
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_500,
+            ttl_cycles: 60,
+            retry: true,
+            retry_limit: 10,
+            drain: true,
+            arbiter: crate::config::Arbiter::Voq { iterations: 2 },
+            ..SimConfig::default()
+        };
+        let mut faults = crate::FaultSchedule::new();
+        faults.kill_channel(400, ft.up_channel(0, 1));
+        let stats = Simulator::new(ft.topology(), config, Policy::from_multipath(&mp, true))
+            .try_run_with_faults(&Workload::permutation(&perm, 0.6), 9, &faults)
+            .unwrap();
+        assert!(stats.timed_out_total > 0, "dead uplink must strand packets");
+        assert!(stats.retries_total > 0, "retry must retransmit them");
+        assert!(stats.delivered_total > 0);
+        assert!(stats.conservation_ok(), "{stats:?}");
+        // Re-picking among 4 uplinks with 10 retries: abandonment is
+        // possible but rare; the bulk must get through.
+        assert!(
+            stats.delivered_total > stats.injected_total * 9 / 10,
+            "delivered {} of {}",
+            stats.delivered_total,
+            stats.injected_total
+        );
+    }
+
+    #[test]
+    fn midrun_fault_fixed_path_abandons() {
+        // A fixed single-path policy re-picks the same dead path forever,
+        // so with retries off every timed-out packet on the dead uplink is
+        // abandoned — the contrast to the multipath test above.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_500,
+            ttl_cycles: 40,
+            drain: true,
+            ..SimConfig::default()
+        };
+        // Kill every uplink of switch 0: its flows have no live fixed path.
+        let mut faults = crate::FaultSchedule::new();
+        for t in 0..4 {
+            faults.kill_channel(400, ft.up_channel(0, t));
+        }
+        let stats = Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+            .try_run_with_faults(&Workload::permutation(&perm, 0.6), 9, &faults)
+            .unwrap();
+        assert!(stats.abandoned_total > 0, "stranded flows must be dropped");
+        assert_eq!(stats.retries_total, 0, "retry is off");
+        assert!(stats.delivered_total > 0, "unaffected switches still flow");
+        assert!(stats.conservation_ok(), "{stats:?}");
+    }
+
+    #[test]
+    fn fault_free_run_with_ttl_never_times_out() {
+        // A generous TTL on a healthy nonblocking fabric is inert: no
+        // timeouts, no retries, no drops — stats match a ttl-off run.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 4);
+        let config = SimConfig {
+            ttl_cycles: 10_000,
+            retry: true,
+            retry_limit: 3,
+            ..cfg()
+        };
+        let stats = Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+            .try_run(&Workload::permutation(&perm, 0.9), 13)
+            .unwrap();
+        assert_eq!(stats.timed_out_total, 0);
+        assert_eq!(stats.retries_total, 0);
+        assert_eq!(stats.abandoned_total, 0);
+        assert!(stats.accepted_throughput() > 0.85);
+    }
+
+    #[test]
+    fn voq_islip_respects_dead_channels() {
+        // Same stranded-flow scenario under the VOQ/iSLIP arbiter: dead
+        // channels grant nothing, TTL cleans up, conservation holds.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_000,
+            ttl_cycles: 40,
+            drain: true,
+            arbiter: crate::config::Arbiter::Voq { iterations: 2 },
+            ..SimConfig::default()
+        };
+        let mut faults = crate::FaultSchedule::new();
+        for t in 0..4 {
+            faults.kill_channel(300, ft.up_channel(0, t));
+        }
+        let stats = Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+            .try_run_with_faults(&Workload::permutation(&perm, 0.6), 17, &faults)
+            .unwrap();
+        assert!(stats.abandoned_total > 0);
+        assert!(stats.delivered_total > 0);
+        assert!(stats.conservation_ok(), "{stats:?}");
     }
 }

@@ -1,0 +1,116 @@
+//! Typed errors for the simulator: configuration rejection and structured
+//! engine-invariant violations (instead of `expect`-style panics that take
+//! down a whole batch run).
+
+use std::fmt;
+
+/// A [`crate::SimConfig`] the engine cannot execute meaningfully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `queue_capacity == 0`: no downstream credit can ever exist, every
+    /// switch output deadlocks on its first packet.
+    ZeroQueueCapacity,
+    /// `packet_flits == 0`: a packet must occupy a wire for ≥ 1 cycle.
+    ZeroPacketFlits,
+    /// `retry == true` with `retry_limit == 0`: retries enabled but no
+    /// retransmission could ever happen.
+    ZeroRetryLimit,
+    /// `retry == true` with `ttl_cycles == 0`: retransmission triggers on
+    /// timeout, so retries without a TTL never fire.
+    RetryWithoutTimeout,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroQueueCapacity => {
+                write!(f, "queue_capacity must be > 0 (zero-size queues deadlock)")
+            }
+            ConfigError::ZeroPacketFlits => {
+                write!(
+                    f,
+                    "packet_flits must be > 0 (a packet occupies a wire for at least one cycle)"
+                )
+            }
+            ConfigError::ZeroRetryLimit => {
+                write!(
+                    f,
+                    "retry is enabled but retry_limit is 0 (no retransmission could happen)"
+                )
+            }
+            ConfigError::RetryWithoutTimeout => {
+                write!(
+                    f,
+                    "retry is enabled but ttl_cycles is 0 (retransmission triggers on timeout)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Errors from a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration failed [`crate::SimConfig::validate`].
+    Config(ConfigError),
+    /// An engine invariant broke mid-run (a bug, not an input problem):
+    /// reported as data so batch drivers can isolate the failed run.
+    Invariant {
+        /// What the engine expected and what it found.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Construct an invariant violation.
+    pub fn invariant(detail: impl Into<String>) -> Self {
+        SimError::Invariant {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid simulation config: {e}"),
+            SimError::Invariant { detail } => {
+                write!(f, "simulation invariant violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Invariant { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: SimError = ConfigError::ZeroQueueCapacity.into();
+        assert!(e.to_string().contains("queue_capacity"));
+        let e = SimError::invariant("head vanished");
+        assert!(e.to_string().contains("head vanished"));
+        assert_ne!(
+            SimError::from(ConfigError::ZeroPacketFlits),
+            SimError::from(ConfigError::ZeroRetryLimit)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Mid-run fault events: channels dying at a scheduled cycle.
+//!
+//! A [`FaultSchedule`] is passed alongside the workload (the [`crate::SimConfig`]
+//! stays `Copy`); the engine marks each scheduled channel dead at the start
+//! of its cycle. Dead channels grant no packets, so traffic routed over them
+//! stalls until the TTL/retry machinery (see [`crate::SimConfig::ttl_cycles`])
+//! drops or re-routes it — exactly the degraded operation the E17
+//! experiment measures.
+
+use ftclos_topo::{ChannelId, FaultSet, FaultyView, Topology};
+use serde::{Deserialize, Serialize};
+
+/// One channel death.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Cycle at the start of which the channel goes dead.
+    pub cycle: u64,
+    /// The dying directed channel.
+    pub channel: ChannelId,
+}
+
+/// A set of scheduled channel deaths for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Empty schedule (a fault-free run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Kill one directed channel at `cycle`.
+    pub fn kill_channel(&mut self, cycle: u64, channel: ChannelId) -> &mut Self {
+        self.events.push(FaultEvent { cycle, channel });
+        self
+    }
+
+    /// Kill a whole cable at `cycle`: the channel and its reverse.
+    pub fn kill_link(&mut self, cycle: u64, topo: &Topology, channel: ChannelId) -> &mut Self {
+        self.kill_channel(cycle, channel);
+        if let Some(rev) = topo.reverse(channel) {
+            self.kill_channel(cycle, rev);
+        }
+        self
+    }
+
+    /// Apply a whole static [`FaultSet`] at `cycle` (failed switches expand
+    /// to their incident channels, as in [`FaultyView`]).
+    pub fn from_fault_set(cycle: u64, topo: &Topology, faults: &FaultSet) -> Self {
+        let view = FaultyView::new(topo, faults);
+        let mut schedule = Self::new();
+        for c in topo.channel_ids() {
+            if !view.channel_alive(c) {
+                schedule.kill_channel(cycle, c);
+            }
+        }
+        schedule
+    }
+
+    /// The scheduled events, sorted by cycle (stable for equal cycles).
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut v = self.events.clone();
+        v.sort_by_key(|e| e.cycle);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclos_topo::Ftree;
+
+    #[test]
+    fn schedule_builders() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let mut s = FaultSchedule::new();
+        assert!(s.is_empty());
+        s.kill_link(100, ft.topology(), ft.up_channel(0, 0));
+        assert_eq!(s.len(), 2, "cable = both directions");
+        s.kill_channel(50, ft.down_channel(1, 2));
+        let sorted = s.sorted_events();
+        assert_eq!(sorted[0].cycle, 50);
+        assert_eq!(sorted.last().unwrap().cycle, 100);
+    }
+
+    #[test]
+    fn from_fault_set_expands_switches() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let mut faults = FaultSet::new();
+        faults.fail_switch(ft.top(0));
+        let s = FaultSchedule::from_fault_set(300, ft.topology(), &faults);
+        // Top switch 0 has r = 5 up + 5 down incident channels.
+        assert_eq!(s.len(), 10);
+        assert!(s.sorted_events().iter().all(|e| e.cycle == 300));
+    }
+}

@@ -41,13 +41,17 @@
 pub mod batch;
 pub mod config;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod policy;
 pub mod stats;
 pub mod workload;
 
-pub use batch::{sweep_injection_rates, ThroughputPoint};
+pub use batch::{sweep_injection_rates, sweep_injection_rates_isolated, ThroughputPoint};
 pub use config::{Arbiter, SimConfig};
 pub use engine::Simulator;
+pub use error::{ConfigError, SimError};
+pub use fault::{FaultEvent, FaultSchedule};
 pub use policy::Policy;
 pub use stats::SimStats;
 pub use workload::Workload;

@@ -245,11 +245,8 @@ mod tests {
         let router = YuanDeterministic::new(&ft).unwrap();
         let assignment = ftclos_routing::route_all(
             &router,
-            &ftclos_traffic::Permutation::from_pairs(
-                10,
-                [ftclos_traffic::SdPair::new(0, 5)],
-            )
-            .unwrap(),
+            &ftclos_traffic::Permutation::from_pairs(10, [ftclos_traffic::SdPair::new(0, 5)])
+                .unwrap(),
         )
         .unwrap();
         let mut p = Policy::from_assignment(&assignment);

@@ -30,9 +30,18 @@ pub struct SimStats {
     pub latency_p99: u64,
     /// Injections refused because a bounded injection queue was full.
     pub injection_refusals: u64,
+    /// Timeout events: a packet exceeded its TTL and was dropped where it
+    /// waited (each retransmission that later times out counts again).
+    pub timed_out_total: u64,
+    /// Retransmissions injected after a timeout (`retry` enabled).
+    pub retries_total: u64,
+    /// Packets dropped for good: timed out with retries off or exhausted,
+    /// or no path available at retransmission time.
+    pub abandoned_total: u64,
     /// Packets still in the network when the run ended (0 after a
     /// successful drain; packet conservation is
-    /// `injected_total == delivered_total + leftover_packets`).
+    /// `injected_total == delivered_total + leftover_packets +
+    /// abandoned_total` — see [`SimStats::conservation_ok`]).
     pub leftover_packets: u64,
     /// Offered injection rate (packets/cycle/source) of the workload.
     pub offered_rate: f64,
@@ -58,6 +67,21 @@ impl SimStats {
             return 1.0;
         }
         (self.accepted_throughput() / self.offered_rate).min(f64::INFINITY)
+    }
+
+    /// Packet conservation: every injected packet is delivered, still
+    /// queued, or abandoned — nothing is silently lost.
+    pub fn conservation_ok(&self) -> bool {
+        self.injected_total == self.delivered_total + self.leftover_packets + self.abandoned_total
+    }
+
+    /// Fraction of injected packets dropped for good.
+    pub fn abandoned_fraction(&self) -> f64 {
+        if self.injected_total == 0 {
+            0.0
+        } else {
+            self.abandoned_total as f64 / self.injected_total as f64
+        }
     }
 
     /// Mean end-to-end latency of window deliveries, in cycles.

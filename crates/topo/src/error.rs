@@ -60,13 +60,19 @@ impl fmt::Display for TopoError {
                 write!(f, "length mismatch for {what}: {left} vs {right}")
             }
             TopoError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node index {node} out of range (num_nodes = {num_nodes})")
+                write!(
+                    f,
+                    "node index {node} out of range (num_nodes = {num_nodes})"
+                )
             }
             TopoError::NoChannel { src, dst } => {
                 write!(f, "no channel from node {src} to node {dst}")
             }
             TopoError::TooLarge { what, size } => {
-                write!(f, "topology too large: {size} {what} exceeds u32 index space")
+                write!(
+                    f,
+                    "topology too large: {size} {what} exceeds u32 index space"
+                )
             }
         }
     }

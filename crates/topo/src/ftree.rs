@@ -285,7 +285,11 @@ mod tests {
         let ft = Ftree::new(2, 4, 5).unwrap();
         let t = ft.topology();
         for v in 0..5 {
-            assert_eq!(t.radix(ft.bottom(v)), 2 + 4, "bottom is an (n+m)-port switch");
+            assert_eq!(
+                t.radix(ft.bottom(v)),
+                2 + 4,
+                "bottom is an (n+m)-port switch"
+            );
         }
         for tt in 0..4 {
             assert_eq!(t.radix(ft.top(tt)), 5, "top is an r-port switch");

@@ -42,6 +42,7 @@ pub mod clos;
 pub mod crossbar;
 pub mod dot;
 pub mod error;
+pub mod fault;
 pub mod ftree;
 pub mod ids;
 pub mod kind;
@@ -55,6 +56,7 @@ pub use channel::Channel;
 pub use clos::Clos;
 pub use crossbar::{crossbar, Crossbar};
 pub use error::TopoError;
+pub use fault::{FaultError, FaultSet, FaultyView};
 pub use ftree::Ftree;
 pub use ids::{ChannelId, NodeId};
 pub use kind::NodeKind;

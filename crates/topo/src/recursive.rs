@@ -65,8 +65,7 @@ impl RecursiveNonblocking {
 
         let leaf = |v: usize, k: usize| NodeId((v * n + k) as u32);
         let bottom = |v: usize| NodeId((leaves + v) as u32);
-        let inner_bottom =
-            |g: usize, ib: usize| NodeId((leaves + r + g * inner_r + ib) as u32);
+        let inner_bottom = |g: usize, ib: usize| NodeId((leaves + r + g * inner_r + ib) as u32);
         let inner_top =
             |g: usize, t: usize| NodeId((leaves + r + n2 * inner_r + g * n2 + t) as u32);
 
@@ -175,9 +174,7 @@ impl RecursiveNonblocking {
     pub fn inner_top(&self, g: usize, t: usize) -> NodeId {
         let n2 = self.n * self.n;
         debug_assert!(g < n2 && t < n2);
-        NodeId(
-            (self.num_leaves() + self.r() + n2 * self.inner_r() + g * n2 + t) as u32,
-        )
+        NodeId((self.num_leaves() + self.r() + n2 * self.inner_r() + g * n2 + t) as u32)
     }
 
     /// Uplink channel leaf `(v, k)` → bottom `v`.

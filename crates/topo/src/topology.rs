@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Channels are directed; for bidirectional networks every channel has a
 /// paired reverse channel retrievable with [`Topology::reverse`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Topology {
     pub(crate) kinds: Vec<NodeKind>,
     pub(crate) channels: Vec<Channel>,
@@ -134,7 +134,11 @@ impl Topology {
 
     /// Largest switch level present (0 if there are no switches).
     pub fn max_level(&self) -> u8 {
-        self.kinds.iter().filter_map(|k| k.level()).max().unwrap_or(0)
+        self.kinds
+            .iter()
+            .filter_map(|k| k.level())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total port count (in + out, counting each bidirectional cable once
@@ -197,7 +201,9 @@ impl Topology {
                     return Err(format!("channel {i} reverse endpoints mismatch"));
                 }
                 if self.rev[r.index()] != ChannelId(i as u32) {
-                    return Err(format!("reverse pairing of channel {i} is not an involution"));
+                    return Err(format!(
+                        "reverse pairing of channel {i} is not an involution"
+                    ));
                 }
             }
         }

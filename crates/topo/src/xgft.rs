@@ -108,12 +108,7 @@ impl Xgft {
         b.add_nodes(NodeKind::Leaf, count[0]);
         #[allow(clippy::needless_range_loop)]
         for level in 1..=h {
-            b.add_nodes(
-                NodeKind::Switch {
-                    level: level as u8,
-                },
-                count[level],
-            );
+            b.add_nodes(NodeKind::Switch { level: level as u8 }, count[level]);
         }
 
         // Connect tier i (level i-1 children to level i parents), bottom-up

@@ -150,8 +150,7 @@ mod tests {
     fn saturate_switch_targets_distinct_switches() {
         let p = saturate_switch(SHAPE, 2).unwrap();
         assert_eq!(p.len(), 2);
-        let mut dst_switches: Vec<u32> =
-            p.pairs().iter().map(|x| SHAPE.switch_of(x.dst)).collect();
+        let mut dst_switches: Vec<u32> = p.pairs().iter().map(|x| SHAPE.switch_of(x.dst)).collect();
         dst_switches.sort_unstable();
         dst_switches.dedup();
         assert_eq!(dst_switches.len(), 2);
@@ -162,10 +161,7 @@ mod tests {
     #[test]
     fn converge_is_inverse() {
         let p = converge_on_switch(SHAPE, 2).unwrap();
-        assert!(p
-            .pairs()
-            .iter()
-            .all(|x| SHAPE.switch_of(x.dst) == 2));
+        assert!(p.pairs().iter().all(|x| SHAPE.switch_of(x.dst) == 2));
     }
 
     #[test]

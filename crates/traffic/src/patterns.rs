@@ -100,7 +100,9 @@ pub fn random_full<R: Rng>(ports: u32, rng: &mut R) -> Permutation {
 /// Random *partial* permutation: each source participates with probability
 /// `density`, and participating sources get distinct random destinations.
 pub fn random_partial<R: Rng>(ports: u32, density: f64, rng: &mut R) -> Permutation {
-    let sources: Vec<u32> = (0..ports).filter(|_| rng.gen_bool(density.clamp(0.0, 1.0))).collect();
+    let sources: Vec<u32> = (0..ports)
+        .filter(|_| rng.gen_bool(density.clamp(0.0, 1.0)))
+        .collect();
     let mut dests: Vec<u32> = (0..ports).collect();
     dests.shuffle(rng);
     Permutation::from_pairs(
@@ -172,7 +174,9 @@ impl StructuredPattern {
             StructuredPattern::BitReversal => bit_reversal(ports).ok(),
             StructuredPattern::BitComplement => bit_complement(ports).ok(),
             StructuredPattern::Transpose => {
-                let rows = (1..=ports).rev().find(|r| ports.is_multiple_of(*r) && *r * *r <= ports)?;
+                let rows = (1..=ports)
+                    .rev()
+                    .find(|r| ports.is_multiple_of(*r) && *r * *r <= ports)?;
                 Some(transpose(rows, ports / rows))
             }
         }

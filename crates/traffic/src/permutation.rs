@@ -123,7 +123,11 @@ impl Permutation {
     pub fn inverse(&self) -> Self {
         Self {
             ports: self.ports,
-            pairs: self.pairs.iter().map(|p| SdPair::new(p.dst, p.src)).collect(),
+            pairs: self
+                .pairs
+                .iter()
+                .map(|p| SdPair::new(p.dst, p.src))
+                .collect(),
         }
     }
 
@@ -131,12 +135,7 @@ impl Permutation {
     pub fn filter_sources(&self, mut keep: impl FnMut(u32) -> bool) -> Self {
         Self {
             ports: self.ports,
-            pairs: self
-                .pairs
-                .iter()
-                .copied()
-                .filter(|p| keep(p.src))
-                .collect(),
+            pairs: self.pairs.iter().copied().filter(|p| keep(p.src)).collect(),
         }
     }
 
@@ -145,7 +144,12 @@ impl Permutation {
     pub fn without_self_pairs(&self) -> Self {
         Self {
             ports: self.ports,
-            pairs: self.pairs.iter().copied().filter(|p| !p.is_self()).collect(),
+            pairs: self
+                .pairs
+                .iter()
+                .copied()
+                .filter(|p| !p.is_self())
+                .collect(),
         }
     }
 

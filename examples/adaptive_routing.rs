@@ -20,9 +20,7 @@ fn main() {
     let ft = Ftree::new(n, 4 * n * n, r).unwrap();
     let router = NonblockingAdaptive::new(&ft).unwrap();
     let c = router.coder().c();
-    println!(
-        "ftree({n}+m, {r}) with local adaptive routing; digit constant c = {c} (r <= n^c)\n"
-    );
+    println!("ftree({n}+m, {r}) with local adaptive routing; digit constant c = {c} (r <= n^c)\n");
 
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
     let perm = patterns::random_full((n * r) as u32, &mut rng);
@@ -70,8 +68,10 @@ fn main() {
     // Materialize and double-check zero contention.
     let assignment = router.route_pattern(&perm).expect("m is ample");
     assert!(assignment.max_channel_load() <= 1);
-    println!("\nmaterialized routes: max link load = {} — nonblocking (Theorem 4)",
-        assignment.max_channel_load());
+    println!(
+        "\nmaterialized routes: max link load = {} — nonblocking (Theorem 4)",
+        assignment.max_channel_load()
+    );
 
     // Worst case over many permutations.
     let mut worst = 0;

@@ -36,8 +36,12 @@ fn main() {
     c.connect(0, 2).unwrap();
     c.connect(3, 4).unwrap();
     c.connect(2, 1).unwrap();
-    let middle = c.connect(1, 0).expect("strict sense: no rearrangement needed");
-    println!("\nm = 3 (= 2n-1, strict-sense): the same request connects directly via middle {middle}.");
+    let middle = c
+        .connect(1, 0)
+        .expect("strict sense: no rearrangement needed");
+    println!(
+        "\nm = 3 (= 2n-1, strict-sense): the same request connects directly via middle {middle}."
+    );
 
     println!("\nthe catch: both guarantees depend on the controller's global view.");
     println!("a fat-tree switch routing packets on its own has neither the view nor");

@@ -3,9 +3,9 @@
 //! experiment harnesses do, but with assertions suitable for CI.
 
 use ftclos::core::construct::{NonblockingFtree, NonblockingThreeLevel};
+use ftclos::core::flow;
 use ftclos::core::search::{blocking_report, find_blocking_two_pair};
 use ftclos::core::verify::is_nonblocking_deterministic;
-use ftclos::core::flow;
 use ftclos::routing::{
     route_all, DModK, NonblockingAdaptive, PatternRouter, RearrangeableRouter, YuanDeterministic,
 };
@@ -34,8 +34,12 @@ fn theorem3_pipeline_flow_and_packets_agree() {
         ..SimConfig::default()
     };
     let router = fabric.router();
-    let stats = Simulator::new(fabric.ftree().topology(), cfg, Policy::from_single_path(&router))
-        .run(&Workload::permutation(&perm, 1.0), 5);
+    let stats = Simulator::new(
+        fabric.ftree().topology(),
+        cfg,
+        Policy::from_single_path(&router),
+    )
+    .run(&Workload::permutation(&perm, 1.0), 5);
     assert!(
         stats.accepted_throughput() > 0.95,
         "packet level {} disagrees with flow level 1.0",
@@ -82,7 +86,10 @@ fn all_nonblocking_constructions_pass_complete_audit() {
         );
     }
     let f3 = NonblockingThreeLevel::new(2).unwrap();
-    assert!(is_nonblocking_deterministic(&f3.router()), "3-level fails audit");
+    assert!(
+        is_nonblocking_deterministic(&f3.router()),
+        "3-level fails audit"
+    );
 }
 
 #[test]
@@ -112,10 +119,12 @@ fn pattern_routers_agree_on_nonblocking_verdicts() {
     for _ in 0..25 {
         let perm = patterns::random_full(8, &mut g);
         assert!(adaptive.route_pattern(&perm).unwrap().max_channel_load() <= 1);
-        assert!(PatternRouter::route_pattern(&yuan, &perm)
-            .unwrap()
-            .max_channel_load()
-            <= 1);
+        assert!(
+            PatternRouter::route_pattern(&yuan, &perm)
+                .unwrap()
+                .max_channel_load()
+                <= 1
+        );
         assert!(central.route_pattern(&perm).unwrap().max_channel_load() <= 1);
     }
 }
@@ -140,8 +149,16 @@ fn contention_structure_of_baselines_is_complementary() {
     for _ in 0..60 {
         let perm = patterns::random_full(21, &mut g);
         for (router, up, down) in [
-            (PatternRouter::route_pattern(&dmodk, &perm).unwrap(), &mut dmodk_up, &mut dmodk_down),
-            (greedy.route_pattern(&perm).unwrap(), &mut greedy_up, &mut greedy_down),
+            (
+                PatternRouter::route_pattern(&dmodk, &perm).unwrap(),
+                &mut dmodk_up,
+                &mut dmodk_down,
+            ),
+            (
+                greedy.route_pattern(&perm).unwrap(),
+                &mut greedy_up,
+                &mut greedy_down,
+            ),
         ] {
             for (c, load) in router.channel_loads() {
                 if load <= 1 {
@@ -225,8 +242,12 @@ fn three_level_sim_delivers_line_rate() {
         measure_cycles: 1_200,
         ..SimConfig::default()
     };
-    let stats = Simulator::new(f3.network().topology(), cfg, Policy::from_single_path(&router))
-        .run(&Workload::permutation(&perm, 1.0), 17);
+    let stats = Simulator::new(
+        f3.network().topology(),
+        cfg,
+        Policy::from_single_path(&router),
+    )
+    .run(&Workload::permutation(&perm, 1.0), 17);
     assert!(
         stats.accepted_throughput() > 0.93,
         "3-level throughput {}",

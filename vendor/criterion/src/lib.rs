@@ -1,0 +1,161 @@
+//! Vendored minimal benchmark harness for air-gapped builds.
+//!
+//! API-compatible with the `criterion` subset the workspace's benches use
+//! (`benchmark_group`, `bench_with_input`, `Bencher::iter`, `Throughput`,
+//! `criterion_group!`/`criterion_main!`). Instead of criterion's statistical
+//! machinery it runs a small fixed number of timed iterations and prints the
+//! mean wall-clock time — enough to spot order-of-magnitude regressions
+//! offline, and the benches compile and run unchanged against the real
+//! criterion once a registry is reachable.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per benchmark (after one untimed warmup call).
+const ITERS: u32 = 10;
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { throughput: None }
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        let mean_ns = if b.iters > 0 {
+            b.elapsed_ns / b.iters as f64
+        } else {
+            0.0
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / mean_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / mean_ns * 1e3 / 1.048_576)
+            }
+            _ => String::new(),
+        };
+        println!("  {:<40} {:>12.1} ns/iter{}", id.label, mean_ns, rate);
+    }
+
+    /// Finish the group (separator line; real criterion writes reports here).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` parameterized by `parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Work per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed_ns: f64,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warmup, untimed
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        self.iters += ITERS;
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke_group, sample_bench);
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        smoke_group();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("route", 128);
+        assert_eq!(id.label, "route/128");
+    }
+}

@@ -1,0 +1,79 @@
+//! Vendored sequential stand-in for `rayon`'s prelude.
+//!
+//! The workspace uses rayon only as `par_iter()` / `into_par_iter()` followed
+//! by ordinary iterator combinators (`map`, `enumerate`, `sum`, `collect`).
+//! This shim maps both entry points onto std iterators, so every call site
+//! compiles unchanged and produces identical (deterministic, sequential)
+//! results. Swap the workspace `rayon` path dependency back to the registry
+//! crate to regain real parallelism when a network is available.
+
+/// Parallel-iterator entry points, sequential under the hood.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// `into_par_iter()` for anything iterable by value.
+pub trait IntoParallelIterator {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Sequential stand-in for rayon's by-value parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    #[inline]
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter()` for anything iterable by shared reference.
+pub trait IntoParallelRefIterator<'data> {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a reference into `self`).
+    type Item: 'data;
+    /// Sequential stand-in for rayon's by-reference parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+{
+    type Iter = <&'data I as IntoIterator>::IntoIter;
+    type Item = <&'data I as IntoIterator>::Item;
+    #[inline]
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects_in_order() {
+        let v: Vec<u32> = (0..5u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn slice_par_iter_sums() {
+        let data = [1.0f64, 2.0, 3.5];
+        let total: f64 = data.par_iter().copied().sum();
+        assert!((total - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec_par_iter_enumerates() {
+        let data = vec!["a", "b"];
+        let pairs: Vec<(usize, &&str)> = data.par_iter().enumerate().collect();
+        assert_eq!(pairs[1].0, 1);
+    }
+}
