@@ -4,6 +4,16 @@
 use ftclos_bench::{banner, result_line, verdict};
 use ftclos_topo::dot::{to_dot, DotOptions};
 use ftclos_topo::{Clos, Ftree, StructureReport};
+use std::path::Path;
+
+/// Write a DOT artifact, exiting with a diagnostic instead of panicking
+/// when the output tree is unwritable (read-only checkout, full disk, ...).
+fn write_artifact(path: &Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let mut all_ok = true;
@@ -28,8 +38,11 @@ fn main() {
         "ftree(n+m,r) has r·n leaves, r bottoms, m tops",
     );
 
-    let out_dir = std::path::Path::new("target/figures");
-    std::fs::create_dir_all(out_dir).expect("create target/figures");
+    let out_dir = Path::new("target/figures");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
     let fig1a = to_dot(
         clos.topology(),
         &DotOptions {
@@ -45,8 +58,8 @@ fn main() {
             ..DotOptions::default()
         },
     );
-    std::fs::write(out_dir.join("fig1a_clos.dot"), &fig1a).unwrap();
-    std::fs::write(out_dir.join("fig1b_ftree.dot"), &fig1b).unwrap();
+    write_artifact(&out_dir.join("fig1a_clos.dot"), &fig1a);
+    write_artifact(&out_dir.join("fig1b_ftree.dot"), &fig1b);
     result_line(
         "artifacts",
         "target/figures/fig1a_clos.dot, fig1b_ftree.dot",
@@ -71,7 +84,7 @@ fn main() {
             ..DotOptions::default()
         },
     );
-    std::fs::write(out_dir.join("fig2_subgraph.dot"), &fig2).unwrap();
+    write_artifact(&out_dir.join("fig2_subgraph.dot"), &fig2);
     result_line("artifact", "target/figures/fig2_subgraph.dot");
 
     result_line("overall", if all_ok { "PASS" } else { "FAIL" });

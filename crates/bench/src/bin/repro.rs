@@ -24,18 +24,23 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "E16  classical centralized Clos hierarchy (context)",
     ),
     ("faults", "E17  degraded operation under failures"),
+    ("churn", "E18  transient-fault churn and availability"),
     ("simval", "V1  simulator validation (HOL vs iSLIP)"),
     ("ablation", "A1-A3  design-choice ablations"),
 ];
 
 fn main() {
-    let exe = std::env::current_exe().expect("current exe path");
-    let bin_dir = exe.parent().expect("bin dir");
+    // Sibling experiment binaries live next to this one; if the path can't
+    // be resolved (rare, but possible under exotic launchers) fall back to
+    // cargo instead of panicking.
+    let bin_dir = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(std::path::Path::to_path_buf));
     let mut failures = Vec::new();
     for (bin, label) in EXPERIMENTS {
         println!("\n################ {label} ({bin}) ################");
-        let path = bin_dir.join(bin);
-        let status = if path.exists() {
+        let path = bin_dir.as_ref().map(|d| d.join(bin));
+        let status = if let Some(path) = path.filter(|p| p.exists()) {
             Command::new(&path).status()
         } else {
             // Fall back to cargo run (slower, but works from any cwd).

@@ -21,6 +21,7 @@
 //! | `blocking` | E12 — blocking probability vs `m` |
 //! | `cost` | E14 — cost scaling ratios |
 //! | `faults` | E17 — degraded operation under injected failures |
+//! | `churn` | E18 — transient-fault churn, re-planning, availability |
 //! | `repro` | all of the above, in order |
 
 use std::io::Write as _;

@@ -2,6 +2,7 @@
 
 pub mod blocking;
 pub mod build;
+pub mod churn;
 pub mod common;
 pub mod design;
 pub mod faults;

@@ -54,7 +54,8 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         ..SimConfig::default()
     };
     let stats = Simulator::new(ft.topology(), cfg, policy)
-        .run(&Workload::permutation(&perm, rate), seed ^ 0xC0FFEE);
+        .try_run(&Workload::permutation(&perm, rate), seed ^ 0xC0FFEE)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
 
     let mut out = String::new();
     let _ = writeln!(

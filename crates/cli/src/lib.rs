@@ -11,6 +11,9 @@
 //! ftclos blocking <n> <m> <r> [--router R] [--samples N] [--seed S]
 //! ftclos faults <n> <m> <r> [--fail-tops K] [--fail-links K] [--seed S]
 //!               [--samples N] [--max-k K]
+//! ftclos churn  <n> <m> <r> [--links K] [--mtbf N] [--mttr N] [--cycles N]
+//!               [--rate F] [--mode pinned|percycle|hysteresis:K]
+//!               [--samples N] [--seed S] [--target F --max-m M]
 //! ```
 //!
 //! Routers: `yuan` (Theorem 3, needs `m >= n²`), `dmodk`, `smodk`,
@@ -42,6 +45,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => commands::simulate::run(&opts),
         "blocking" => commands::blocking::run(&opts),
         "faults" => commands::faults::run(&opts),
+        "churn" => commands::churn::run(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n{USAGE}"
@@ -64,6 +68,9 @@ USAGE:
   ftclos blocking <n> <m> <r> [--router R] [--samples N] [--seed S]
   ftclos faults <n> <m> <r> [--fail-tops K] [--fail-links K] [--seed S]
                 [--samples N] [--max-k K]
+  ftclos churn  <n> <m> <r> [--links K] [--mtbf N] [--mttr N] [--cycles N]
+                [--rate F] [--mode pinned|percycle|hysteresis:K]
+                [--samples N] [--seed S] [--target F --max-m M]
 
 PATTERNS: shift:<k> random transpose bitrev neighbor tornado identity
 ROUTERS:  yuan dmodk smodk adaptive greedy rearrangeable";
@@ -113,6 +120,19 @@ mod tests {
         let out = run(&argv("faults 2 4 5 --fail-tops 1 --samples 5 --max-k 0")).unwrap();
         assert!(out.contains("pairs routable"), "{out}");
         assert!(out.contains("masked adaptive"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_churn() {
+        let out = run(&argv(
+            "churn 2 4 3 --links 1 --mtbf 200 --mttr 60 --cycles 500 --samples 8",
+        ))
+        .unwrap();
+        assert!(out.contains("availability:"), "{out}");
+        assert!(
+            out.contains("time-to-reconverge") || out.contains("transition epoch"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use ftclos_traffic::{patterns, SdPair};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How a single-path deterministic routing degrades under a fault overlay.
@@ -121,7 +122,7 @@ pub fn deterministic_degradation<R: SinglePathRouter + ?Sized>(
 }
 
 /// Outcome of a degraded blocking sweep of the masked adaptive router.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DegradedVerdict {
     /// Every permutation examined routed with channel load ≤ 1.
     ContentionFree {

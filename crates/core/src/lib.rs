@@ -33,6 +33,7 @@
 //! assert!(assignment.max_channel_load() <= 1); // nonblocking
 //! ```
 
+pub mod churn;
 pub mod circuit;
 pub mod construct;
 pub mod degraded;
@@ -43,6 +44,9 @@ pub mod search;
 pub mod verify;
 pub mod wide_sense;
 
+pub use churn::{
+    availability, min_m_for_availability, AvailabilityReport, ChurnEvent, EpochVerdict,
+};
 pub use circuit::{CircuitClos, ConnectError, MiddlePolicy};
 pub use construct::{NonblockingFtree, NonblockingThreeLevel};
 pub use degraded::{

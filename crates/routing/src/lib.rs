@@ -29,6 +29,7 @@
 
 pub mod adaptive;
 pub mod assignment;
+pub mod churn;
 pub mod dmodk;
 pub mod error;
 pub mod fault_aware;
@@ -44,6 +45,7 @@ pub mod yuan;
 
 pub use adaptive::{AdaptivePlan, NonblockingAdaptive, PlanStrategy};
 pub use assignment::RouteAssignment;
+pub use churn::{EpochPlan, EpochPlanner, LinkAdmission};
 pub use dmodk::{DModK, SModK};
 pub use error::RoutingError;
 pub use fault_aware::FaultAware;

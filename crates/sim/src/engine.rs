@@ -1,12 +1,14 @@
 //! The synchronous cycle engine.
 
+use crate::churn::{build_report, ChurnConfig, ChurnReport, EpochMark};
 use crate::config::{Arbiter, SimConfig};
 use crate::error::SimError;
-use crate::fault::FaultSchedule;
+use crate::fault::{ChurnSchedule, FaultSchedule};
 use crate::policy::Policy;
 use crate::stats::SimStats;
 use crate::workload::Workload;
-use ftclos_topo::{ChannelId, NodeId, Topology};
+use ftclos_routing::LinkAdmission;
+use ftclos_topo::{ChannelId, NodeId, Topology, Transition};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
@@ -69,10 +71,11 @@ impl<'a> Simulator<'a> {
         self.try_run_with_faults(workload, seed, &FaultSchedule::new())
     }
 
-    /// Run with mid-simulation channel deaths: each event of `faults` marks
-    /// its channel dead at the start of its cycle. Dead channels grant no
-    /// packets; stalled traffic is dropped/retried per the TTL and retry
-    /// knobs of the configuration.
+    /// Run with mid-simulation channel transitions: each event of `faults`
+    /// marks its channel dead — or alive again — at the start of its cycle.
+    /// Dead channels grant no packets; stalled traffic is dropped/retried
+    /// per the TTL and retry knobs of the configuration. Revived channels
+    /// grant again from their cycle on.
     ///
     /// # Errors
     /// As for [`Simulator::try_run`].
@@ -82,7 +85,50 @@ impl<'a> Simulator<'a> {
         seed: u64,
         faults: &FaultSchedule,
     ) -> Result<SimStats, SimError> {
+        self.run_loop(workload, seed, faults, None)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Run under churn with per-epoch instrumentation: applies the
+    /// schedule's transitions like [`Simulator::try_run_with_faults`],
+    /// drives the path policy's live mask per `churn.mode` (pinned /
+    /// per-cycle / hysteresis re-planning), and slices the run into epochs
+    /// at every transition cycle. Returns the usual statistics plus the
+    /// [`ChurnReport`] with per-epoch counters and time-to-reconverge.
+    ///
+    /// # Errors
+    /// As for [`Simulator::try_run`].
+    pub fn try_run_churn(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        schedule: &ChurnSchedule,
+        churn: &ChurnConfig,
+    ) -> Result<(SimStats, ChurnReport), SimError> {
+        self.run_loop(workload, seed, schedule, Some(churn))
+            .map(|(stats, report)| (stats, report.unwrap_or_default()))
+    }
+
+    fn run_loop(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        faults: &ChurnSchedule,
+        churn: Option<&ChurnConfig>,
+    ) -> Result<(SimStats, Option<ChurnReport>), SimError> {
         self.cfg.validate()?;
+        // A fresh run starts unmasked; churn modes rebuild the mask below.
+        self.policy.set_live_mask(None);
+        // Churn instrumentation (None outside churn runs, no overhead).
+        let mut admission: Option<LinkAdmission> = churn
+            .and_then(|c| c.mode.hysteresis_k())
+            .map(|k| LinkAdmission::new(self.topo.num_channels(), k));
+        let mut epoch_marks: Vec<EpochMark> = Vec::new();
+        let mut delivered_per_cycle: Vec<u32> = Vec::new();
+        let mut delivered_seen = 0u64;
+        if churn.is_some() {
+            epoch_marks.push(EpochMark::default()); // run-start baseline
+        }
         let fault_events = faults.sorted_events();
         let mut next_fault = 0usize;
         let ttl = self.cfg.ttl_cycles;
@@ -135,13 +181,50 @@ impl<'a> Simulator<'a> {
             }
             let in_window = now >= warmup && now < total;
             let injecting = now < total;
-            // --- Fault events: channels scheduled to die by now go dead ---
+            // --- Liveness events: scheduled transitions apply at cycle
+            // start (events are ordered Down-before-Up per channel, so a
+            // same-cycle flap nets to alive) ---
+            let mut downs_now = 0u64;
+            let mut ups_now = 0u64;
             while next_fault < fault_events.len() && fault_events[next_fault].cycle <= now {
-                let c = fault_events[next_fault].channel;
-                if c.index() < num_channels {
-                    dead[c.index()] = true;
+                let e = fault_events[next_fault];
+                if e.channel.index() < num_channels {
+                    dead[e.channel.index()] = e.transition == Transition::Down;
+                    match e.transition {
+                        Transition::Down => downs_now += 1,
+                        Transition::Up => ups_now += 1,
+                    }
+                    if let Some(adm) = admission.as_mut() {
+                        adm.observe(now, e.channel, e.transition);
+                    }
                 }
                 next_fault += 1;
+            }
+            if churn.is_some() && downs_now + ups_now > 0 {
+                let mark = EpochMark {
+                    cycle: now,
+                    downs: downs_now,
+                    ups: ups_now,
+                    injected: stats.injected_total,
+                    delivered: stats.delivered_total,
+                    timed_out: stats.timed_out_total,
+                    retries: stats.retries_total,
+                    abandoned: stats.abandoned_total,
+                };
+                match epoch_marks.last_mut() {
+                    // Transitions at cycle 0 fold into the baseline mark.
+                    Some(last) if last.cycle == now => {
+                        last.downs += downs_now;
+                        last.ups += ups_now;
+                    }
+                    _ => epoch_marks.push(mark),
+                }
+            }
+            // Re-planning: promote stabilized links, refresh the pick mask.
+            if let Some(adm) = admission.as_mut() {
+                if adm.tick(now) {
+                    self.policy.set_live_mask(Some(adm.mask()));
+                }
             }
             // --- Timeout sweep: expire packets past their deadline ---
             if ttl > 0 {
@@ -349,6 +432,10 @@ impl<'a> Simulator<'a> {
                     }
                 }
             }
+            if churn.is_some() {
+                delivered_per_cycle.push((stats.delivered_total - delivered_seen) as u32);
+                delivered_seen = stats.delivered_total;
+            }
             now += 1;
         }
         stats.leftover_packets =
@@ -356,7 +443,20 @@ impl<'a> Simulator<'a> {
         stats.active_sources = source_injected.iter().filter(|&&b| b).count();
         window_latencies.sort_unstable();
         self.finish_stats(&mut stats, &window_latencies);
-        Ok(stats)
+        let report = churn.map(|c| {
+            let final_mark = EpochMark {
+                cycle: now,
+                downs: 0,
+                ups: 0,
+                injected: stats.injected_total,
+                delivered: stats.delivered_total,
+                timed_out: stats.timed_out_total,
+                retries: stats.retries_total,
+                abandoned: stats.abandoned_total,
+            };
+            build_report(c, &epoch_marks, final_mark, &delivered_per_cycle, warmup)
+        });
+        Ok((stats, report))
     }
 
     /// Fill in percentile fields from sorted window latencies.
@@ -1045,5 +1145,181 @@ mod tests {
         assert!(stats.abandoned_total > 0);
         assert!(stats.delivered_total > 0);
         assert!(stats.conservation_ok(), "{stats:?}");
+    }
+
+    #[test]
+    fn revival_restores_fixed_path_delivery() {
+        // Outage and repair on a pinned single path: flows over switch 0
+        // strand (and drop) while its uplinks are down, then flow again
+        // after the revival — throughput in the final epoch recovers to the
+        // pre-outage steady state.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 2_000,
+            ttl_cycles: 40,
+            drain: true,
+            ..SimConfig::default()
+        };
+        let mut schedule = crate::ChurnSchedule::new();
+        for t in 0..4 {
+            schedule.kill_channel(600, ft.up_channel(0, t));
+            schedule.revive_channel(1_200, ft.up_channel(0, t));
+        }
+        let churn = crate::ChurnConfig {
+            mode: crate::ReplanMode::Pinned,
+            epsilon: 0.1,
+            recovery_window: 100,
+        };
+        let (stats, report) =
+            Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+                .try_run_churn(&Workload::permutation(&perm, 0.6), 21, &schedule, &churn)
+                .unwrap();
+        assert!(stats.abandoned_total > 0, "outage must drop packets");
+        assert!(stats.conservation_ok(), "{stats:?}");
+        // Epochs: [0, 600) baseline, [600, 1200) outage, [1200, end) repaired.
+        assert_eq!(report.epochs.len(), 3);
+        assert_eq!(report.epochs[1].downs, 4);
+        assert_eq!(report.epochs[2].ups, 4);
+        assert!(report.steady_rate > 0.0);
+        let outage = &report.epochs[1];
+        let repaired = &report.epochs[2];
+        assert!(
+            repaired.delivered_rate() > outage.delivered_rate(),
+            "revival must lift throughput: {} vs {}",
+            repaired.delivered_rate(),
+            outage.delivered_rate()
+        );
+        assert!(
+            repaired.reconverged_after.is_some(),
+            "post-repair epoch must return to steady state: {report:?}"
+        );
+        assert!(outage.abandoned > 0);
+        // Per-epoch counters must tile the run totals (conservation across
+        // the revival boundary).
+        let (inj, del, ab) = report.totals();
+        assert_eq!(inj, stats.injected_total);
+        assert_eq!(del, stats.delivered_total);
+        assert_eq!(ab, stats.abandoned_total);
+        assert_eq!(report.packets_lost(), stats.abandoned_total);
+    }
+
+    #[test]
+    fn hysteresis_beats_per_cycle_replanning_under_flapping() {
+        // A flapping uplink with short stable windows: per-cycle
+        // re-planning readmits the link the moment it revives and strands
+        // the packets it then routes onto it, while hysteresis with
+        // K > the up-interval never trusts it again. Same seed, same
+        // schedule — hysteresis must deliver strictly more.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 3_000,
+            ttl_cycles: 50,
+            drain: true,
+            arbiter: crate::config::Arbiter::Voq { iterations: 2 },
+            ..SimConfig::default()
+        };
+        // Down 100 cycles, up 20 cycles, repeated.
+        let flapper = ft.up_channel(0, 1);
+        let mut schedule = crate::ChurnSchedule::new();
+        let mut t = 400;
+        while t < 3_000 {
+            schedule.kill_link(t, ft.topology(), flapper);
+            schedule.revive_link(t + 100, ft.topology(), flapper);
+            t += 120;
+        }
+        let run = |mode: crate::ReplanMode| {
+            let churn = crate::ChurnConfig {
+                mode,
+                epsilon: 0.1,
+                recovery_window: 50,
+            };
+            Simulator::new(ft.topology(), config, Policy::from_multipath(&mp, true))
+                .try_run_churn(&Workload::permutation(&perm, 0.6), 33, &schedule, &churn)
+                .unwrap()
+        };
+        let (per_cycle, _) = run(crate::ReplanMode::PerCycle);
+        let (hysteresis, _) = run(crate::ReplanMode::Hysteresis { k: 200 });
+        assert!(per_cycle.conservation_ok());
+        assert!(hysteresis.conservation_ok());
+        assert!(
+            hysteresis.delivered_total > per_cycle.delivered_total,
+            "hysteresis {} must beat per-cycle {}",
+            hysteresis.delivered_total,
+            per_cycle.delivered_total
+        );
+        assert!(
+            hysteresis.timed_out_total < per_cycle.timed_out_total,
+            "damping must cut timeouts: {} vs {}",
+            hysteresis.timed_out_total,
+            per_cycle.timed_out_total
+        );
+    }
+
+    #[test]
+    fn per_cycle_replanning_beats_pinned_routing() {
+        // Pinned multipath keeps spraying packets onto the dead link for
+        // the whole outage; per-cycle masking stops doing so immediately.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 2_000,
+            ttl_cycles: 50,
+            drain: true,
+            arbiter: crate::config::Arbiter::Voq { iterations: 2 },
+            ..SimConfig::default()
+        };
+        let mut schedule = crate::ChurnSchedule::new();
+        schedule.kill_link(400, ft.topology(), ft.up_channel(0, 1));
+        let run = |mode: crate::ReplanMode| {
+            let churn = crate::ChurnConfig {
+                mode,
+                ..crate::ChurnConfig::default()
+            };
+            Simulator::new(ft.topology(), config, Policy::from_multipath(&mp, true))
+                .try_run_churn(&Workload::permutation(&perm, 0.6), 5, &schedule, &churn)
+                .unwrap()
+        };
+        let (pinned, _) = run(crate::ReplanMode::Pinned);
+        let (per_cycle, _) = run(crate::ReplanMode::PerCycle);
+        assert!(
+            per_cycle.timed_out_total < pinned.timed_out_total,
+            "masking must avoid the dead link: {} vs {}",
+            per_cycle.timed_out_total,
+            pinned.timed_out_total
+        );
+        assert!(per_cycle.delivered_total >= pinned.delivered_total);
+    }
+
+    #[test]
+    fn churn_run_without_events_matches_plain_run() {
+        // An empty schedule under any replan mode is exactly the fault-free
+        // run: one baseline epoch, no transitions, equal stats.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 4);
+        let plain = Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
+            .try_run(&Workload::permutation(&perm, 0.9), 13)
+            .unwrap();
+        let (churned, report) =
+            Simulator::new(ft.topology(), cfg(), Policy::from_single_path(&router))
+                .try_run_churn(
+                    &Workload::permutation(&perm, 0.9),
+                    13,
+                    &crate::ChurnSchedule::new(),
+                    &crate::ChurnConfig::default(),
+                )
+                .unwrap();
+        assert_eq!(plain, churned);
+        assert_eq!(report.epochs.len(), 1);
+        assert_eq!(report.transitions(), 0);
+        assert!(report.steady_rate > 0.0);
     }
 }

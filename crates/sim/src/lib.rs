@@ -39,6 +39,7 @@
 //! ```
 
 pub mod batch;
+pub mod churn;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -48,10 +49,11 @@ pub mod stats;
 pub mod workload;
 
 pub use batch::{sweep_injection_rates, sweep_injection_rates_isolated, ThroughputPoint};
+pub use churn::{ChurnConfig, ChurnReport, EpochStats, ReplanMode};
 pub use config::{Arbiter, SimConfig};
 pub use engine::Simulator;
 pub use error::{ConfigError, SimError};
-pub use fault::{FaultEvent, FaultSchedule};
+pub use fault::{ChurnSchedule, FaultEvent, FaultSchedule};
 pub use policy::Policy;
 pub use stats::SimStats;
 pub use workload::Workload;

@@ -37,6 +37,10 @@ pub struct Policy {
     options: HashMap<(u32, u32), Vec<PathArc>>,
     counters: HashMap<(u32, u32), u64>,
     choice: Choice,
+    /// Per-channel admission bitmap (`true` = usable); `None` admits all.
+    /// Candidates crossing an unadmitted channel are skipped by `pick` —
+    /// the hook the churn re-planning modes drive mid-run.
+    live_mask: Option<Vec<bool>>,
 }
 
 impl Policy {
@@ -45,7 +49,15 @@ impl Policy {
             options,
             counters: HashMap::new(),
             choice,
+            live_mask: None,
         }
+    }
+
+    /// Restrict future picks to candidates whose every channel is admitted
+    /// by `mask` (indexed by channel id; `None` lifts the restriction).
+    /// Packets already in flight keep their chosen paths.
+    pub fn set_live_mask(&mut self, mask: Option<&[bool]>) {
+        self.live_mask = mask.map(<[bool]>::to_vec);
     }
 
     /// One fixed path per pair, precomputed from a single-path router for
@@ -144,15 +156,31 @@ impl Policy {
             return Some(Arc::from(Vec::new()));
         }
         let candidates = self.options.get(&(src, dst))?;
+        // Candidate indices admitted by the live mask (all, when unset).
+        let live: Vec<usize> = match self.live_mask.as_deref() {
+            None => (0..candidates.len()).collect(),
+            Some(mask) => candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    p.iter()
+                        .all(|c| mask.get(c.index()).copied().unwrap_or(true))
+                })
+                .map(|(i, _)| i)
+                .collect(),
+        };
+        if live.is_empty() {
+            return None; // every candidate crosses an unadmitted channel
+        }
         let idx = match self.choice {
-            Choice::Fixed => 0,
+            Choice::Fixed => live[0],
             Choice::RoundRobin => {
                 let counter = self.counters.entry((src, dst)).or_insert(0);
-                let i = (*counter % candidates.len() as u64) as usize;
+                let i = (*counter % live.len() as u64) as usize;
                 *counter += 1;
-                i
+                live[i]
             }
-            Choice::Random => rng.gen_range(0..candidates.len()),
+            Choice::Random => live[rng.gen_range(0..live.len())],
             Choice::QueueAdaptive => {
                 // Shortest local uplink queue; ties broken uniformly at
                 // random (deterministic tie-breaks herd every switch onto
@@ -162,23 +190,26 @@ impl Policy {
                     let probe = if p.len() >= 2 { p[1] } else { p[0] };
                     queue_len(probe)
                 };
-                let best = candidates.iter().map(occupancy).min().unwrap_or(0);
-                let minima: Vec<usize> = candidates
+                let best = live
                     .iter()
-                    .enumerate()
-                    .filter(|(_, p)| occupancy(p) == best)
-                    .map(|(i, _)| i)
+                    .map(|&i| occupancy(&candidates[i]))
+                    .min()
+                    .unwrap_or(0);
+                let minima: Vec<usize> = live
+                    .iter()
+                    .copied()
+                    .filter(|&i| occupancy(&candidates[i]) == best)
                     .collect();
                 minima[rng.gen_range(0..minima.len())]
             }
-            Choice::QueueAdaptiveFirst => candidates
+            Choice::QueueAdaptiveFirst => live
                 .iter()
-                .enumerate()
-                .min_by_key(|(i, p)| {
+                .copied()
+                .min_by_key(|&i| {
+                    let p = &candidates[i];
                     let probe = if p.len() >= 2 { p[1] } else { p[0] };
-                    (queue_len(probe), *i)
+                    (queue_len(probe), i)
                 })
-                .map(|(i, _)| i)
                 .unwrap_or(0),
         };
         Some(candidates[idx].clone())
@@ -237,6 +268,35 @@ mod tests {
             .pick(0, 4, |c| if c == busy { 10 } else { 0 }, &mut g)
             .unwrap();
         assert_ne!(path[1], busy, "adaptive must dodge the long queue");
+    }
+
+    #[test]
+    fn live_mask_filters_candidates() {
+        let ft = Ftree::new(2, 3, 5).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let mut p = Policy::from_multipath(&mp, true);
+        let mut g = rng();
+        let num_channels = ft.topology().num_channels();
+        // Exclude uplinks to tops 0 and 1: every pick must go through top 2.
+        let mut mask = vec![true; num_channels];
+        for v in 0..ft.r() {
+            mask[ft.up_channel(v, 0).index()] = false;
+            mask[ft.up_channel(v, 1).index()] = false;
+        }
+        p.set_live_mask(Some(&mask));
+        for _ in 0..20 {
+            let path = p.pick(0, 4, |_| 0, &mut g).unwrap();
+            assert_eq!(path[1], ft.up_channel(0, 2));
+        }
+        // Excluding all uplinks leaves cross-switch pairs unroutable…
+        for v in 0..ft.r() {
+            mask[ft.up_channel(v, 2).index()] = false;
+        }
+        p.set_live_mask(Some(&mask));
+        assert!(p.pick(0, 4, |_| 0, &mut g).is_none());
+        // …until the mask is lifted.
+        p.set_live_mask(None);
+        assert!(p.pick(0, 4, |_| 0, &mut g).is_some());
     }
 
     #[test]

@@ -27,6 +27,28 @@ use serde::{Deserialize, Serialize};
 use crate::ids::{ChannelId, NodeId};
 use crate::topology::Topology;
 
+/// Direction of a liveness transition: hardware going down or coming back.
+///
+/// Shared vocabulary for churn traces: the simulator's event schedule and
+/// the core availability analyzer both describe a transient fault as a
+/// `Down` transition later balanced by an `Up`. Ordered so that `Down`
+/// sorts before `Up` — when both are scheduled for the same cycle, the
+/// revival is applied last and wins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Transition {
+    /// The element fails: it carries no traffic from this point on.
+    Down,
+    /// The element is repaired: it carries traffic again.
+    Up,
+}
+
+impl Transition {
+    /// True for [`Transition::Up`].
+    pub fn is_up(self) -> bool {
+        matches!(self, Transition::Up)
+    }
+}
+
 /// A set of failed elements, independent of any topology.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSet {
@@ -66,6 +88,42 @@ impl FaultSet {
     pub fn fail_switch(&mut self, node: NodeId) -> &mut Self {
         self.switches.insert(node);
         self
+    }
+
+    /// Repair one directed channel: the inverse of
+    /// [`FaultSet::fail_channel`]. Repairing a channel that is not failed
+    /// is a no-op. Note that a channel can *also* be dead via a failed
+    /// endpoint switch — repair the switch to revive those.
+    pub fn repair_channel(&mut self, ch: ChannelId) -> &mut Self {
+        self.channels.remove(&ch);
+        self
+    }
+
+    /// Repair a whole cable: the directed channel and its reverse (if any).
+    /// The inverse of [`FaultSet::fail_link`].
+    pub fn repair_link(&mut self, topo: &Topology, ch: ChannelId) -> &mut Self {
+        self.channels.remove(&ch);
+        if let Some(rev) = topo.reverse(ch) {
+            self.channels.remove(&rev);
+        }
+        self
+    }
+
+    /// Repair a switch: the inverse of [`FaultSet::fail_switch`]. Its
+    /// incident channels come back alive in future views unless they are
+    /// also individually failed.
+    pub fn repair_switch(&mut self, node: NodeId) -> &mut Self {
+        self.switches.remove(&node);
+        self
+    }
+
+    /// Apply one liveness transition to a directed channel: `Down` fails
+    /// it, `Up` repairs it.
+    pub fn apply_channel(&mut self, ch: ChannelId, transition: Transition) -> &mut Self {
+        match transition {
+            Transition::Down => self.fail_channel(ch),
+            Transition::Up => self.repair_channel(ch),
+        }
     }
 
     /// Remove all faults (the overlay analogue of "repair everything").
@@ -412,6 +470,68 @@ mod tests {
         // Clamped.
         let all = FaultSet::random_top_switches(ft.topology(), 99, 0);
         assert_eq!(all.num_failed_switches(), ft.m());
+    }
+
+    #[test]
+    fn repair_inverts_each_fail() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let t = ft.topology();
+        let mut faults = FaultSet::new();
+        faults.fail_channel(ft.up_channel(0, 0));
+        faults.fail_link(t, ft.up_channel(1, 2));
+        faults.fail_switch(ft.top(3));
+        faults.repair_channel(ft.up_channel(0, 0));
+        faults.repair_link(t, ft.up_channel(1, 2));
+        faults.repair_switch(ft.top(3));
+        assert!(faults.is_empty());
+        let view = FaultyView::new(t, &faults);
+        assert_eq!(view.num_dead_channels(), 0);
+        assert_eq!(view.num_dead_nodes(), 0);
+    }
+
+    #[test]
+    fn repair_is_idempotent_and_selective() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let mut faults = FaultSet::new();
+        faults.fail_channel(ft.up_channel(0, 0));
+        faults.fail_channel(ft.up_channel(0, 1));
+        // Repairing a healthy channel is a no-op.
+        faults.repair_channel(ft.up_channel(0, 2));
+        faults.repair_channel(ft.up_channel(0, 1));
+        faults.repair_channel(ft.up_channel(0, 1));
+        assert_eq!(faults.num_failed_channels(), 1);
+        let view = FaultyView::new(ft.topology(), &faults);
+        assert!(!view.channel_alive(ft.up_channel(0, 0)));
+        assert!(view.channel_alive(ft.up_channel(0, 1)));
+    }
+
+    #[test]
+    fn switch_failure_shadows_channel_repair() {
+        // A channel dead via its endpoint switch stays dead until the
+        // *switch* is repaired; repairing the channel alone is not enough.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let mut faults = FaultSet::new();
+        faults.fail_switch(ft.top(0));
+        faults.repair_channel(ft.up_channel(0, 0));
+        let view = FaultyView::new(ft.topology(), &faults);
+        assert!(!view.channel_alive(ft.up_channel(0, 0)));
+        faults.repair_switch(ft.top(0));
+        let view = FaultyView::new(ft.topology(), &faults);
+        assert!(view.channel_alive(ft.up_channel(0, 0)));
+    }
+
+    #[test]
+    fn apply_channel_follows_transition() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let ch = ft.up_channel(2, 3);
+        let mut faults = FaultSet::new();
+        faults.apply_channel(ch, Transition::Down);
+        assert_eq!(faults.num_failed_channels(), 1);
+        faults.apply_channel(ch, Transition::Up);
+        assert!(faults.is_empty());
+        assert!(Transition::Up.is_up());
+        assert!(!Transition::Down.is_up());
+        assert!(Transition::Down < Transition::Up, "revival sorts last");
     }
 
     #[test]

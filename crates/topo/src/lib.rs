@@ -56,7 +56,7 @@ pub use channel::Channel;
 pub use clos::Clos;
 pub use crossbar::{crossbar, Crossbar};
 pub use error::TopoError;
-pub use fault::{FaultError, FaultSet, FaultyView};
+pub use fault::{FaultError, FaultSet, FaultyView, Transition};
 pub use ftree::Ftree;
 pub use ids::{ChannelId, NodeId};
 pub use kind::NodeKind;

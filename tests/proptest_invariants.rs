@@ -5,7 +5,9 @@ use ftclos::routing::{
     route_all, DModK, NonblockingAdaptive, PatternRouter, RearrangeableRouter, SinglePathRouter,
     YuanDeterministic,
 };
-use ftclos::topo::{kary_ntree, Ftree, NodeId, StructureReport};
+use ftclos::topo::{
+    kary_ntree, FaultSet, FaultyView, Ftree, NodeId, StructureReport, Topology, Transition,
+};
 use ftclos::traffic::{patterns, Permutation, SdPair};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -13,6 +15,39 @@ use rand::SeedableRng;
 /// A random small `(n, m, r)` shape.
 fn shape() -> impl Strategy<Value = (usize, usize, usize)> {
     (1usize..5, 1usize..8, 1usize..8)
+}
+
+/// Apply a random fault set to `t`, then repair every fault individually
+/// (channels via `Up` transitions, switches via `repair_switch` — no
+/// wholesale `clear()`): the resulting view must be indistinguishable from
+/// pristine and the underlying topology bit-identical.
+fn assert_revive_round_trip(t: &Topology, links: usize, switches: usize, seed: u64) {
+    let before = t.clone();
+    let mut faults = FaultSet::random_links(t, links, seed);
+    faults.merge(&FaultSet::random_top_switches(t, switches, seed ^ 0x9E37));
+    let failed_channels: Vec<_> = faults.failed_channels().collect();
+    let failed_switches: Vec<_> = faults.failed_switches().collect();
+    {
+        let view = FaultyView::new(t, &faults);
+        assert_eq!(
+            view.num_dead_nodes(),
+            failed_switches.len(),
+            "every sampled switch is dead while faulted"
+        );
+    }
+    for c in failed_channels {
+        faults.apply_channel(c, Transition::Up);
+    }
+    for s in failed_switches {
+        faults.repair_switch(s);
+    }
+    assert!(faults.is_empty(), "all faults individually removed");
+    let view = FaultyView::new(t, &faults);
+    assert_eq!(view.num_dead_channels(), 0);
+    assert_eq!(view.num_dead_nodes(), 0);
+    assert!(t.channel_ids().all(|c| view.channel_alive(c)));
+    assert!(t.node_ids().all(|v| view.node_alive(v)));
+    assert_eq!(*t, before, "overlay never mutates the topology");
 }
 
 proptest! {
@@ -224,6 +259,29 @@ proptest! {
             }
             prop_assert!(c.audit().is_ok());
         }
+    }
+
+    #[test]
+    fn ftree_fault_revive_round_trip(
+        (n, m, r) in shape(), links in 0usize..6, switches in 0usize..3, seed in 0u64..500,
+    ) {
+        let ft = Ftree::new(n, m, r).unwrap();
+        assert_revive_round_trip(ft.topology(), links, switches, seed);
+    }
+
+    #[test]
+    fn kary_ntree_fault_revive_round_trip(
+        k in 1usize..5, levels in 1usize..4, links in 0usize..6, seed in 0u64..500,
+    ) {
+        let t = kary_ntree(k, levels).unwrap();
+        assert_revive_round_trip(t.topology(), links, 1, seed);
+    }
+
+    #[test]
+    fn recursive_fault_revive_round_trip(links in 0usize..8, seed in 0u64..500) {
+        use ftclos::topo::RecursiveNonblocking;
+        let net = RecursiveNonblocking::new(2).unwrap();
+        assert_revive_round_trip(net.topology(), links, 2, seed);
     }
 
     #[test]
