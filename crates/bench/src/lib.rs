@@ -22,6 +22,7 @@
 //! | `cost` | E14 — cost scaling ratios |
 //! | `faults` | E17 — degraded operation under injected failures |
 //! | `churn` | E18 — transient-fault churn, re-planning, availability |
+//! | `flowsim` | E19 — fluid max-min fair delivered throughput vs `m`, differential vs Lemma 1, 10k-host scale guard |
 //! | `repro` | all of the above, in order |
 
 use std::io::Write as _;

@@ -1,0 +1,311 @@
+//! `ftclos flowsim <n> <m> <r> [--router R] [--pattern P] [--seed S]
+//! [--json] [--fail-tops K] [--fail-links K]` — max-min fair fluid
+//! flow-rate simulation: the delivered throughput each flow settles at.
+//!
+//! Without `--pattern`, sweeps the standard adversarial suite and prints
+//! one line per pattern; with `--pattern`, solves just that pattern.
+//! `--json` emits the same reports as a JSON array (the shape the E19
+//! bench writes). `--fail-tops` / `--fail-links` solve on the surviving
+//! hardware via the fault-masked routing variants.
+
+use super::common::{build_ftree, make_pattern};
+use crate::opts::{CliError, Opts};
+use ftclos_flowsim::{standard_suite, sweep_patterns, FluidReport};
+use ftclos_routing::{
+    DModK, FaultAware, LinkLoadView, MaskedAdaptive, MaskedMultipath, NonblockingAdaptive,
+    ObliviousMultipath, PlanStrategy, SModK, SpreadPolicy, YuanDeterministic,
+};
+use ftclos_topo::{ChannelCapacities, FaultSet, FaultyView, Ftree};
+use ftclos_traffic::Permutation;
+use std::fmt::Write as _;
+
+/// Router names `ftclos flowsim` accepts (`greedy`/`rearrangeable` have no
+/// fault-masked variant, so they are healthy-fabric only).
+pub const FLOWSIM_ROUTERS: &[&str] = &[
+    "yuan",
+    "dmodk",
+    "smodk",
+    "adaptive",
+    "multipath",
+    "greedy",
+    "rearrangeable",
+];
+
+/// Run the command.
+pub fn run(opts: &Opts) -> Result<String, CliError> {
+    let ft = build_ftree(opts)?;
+    let router: String = opts.flag_or("router", "yuan".to_string())?;
+    let seed: u64 = opts.flag_or("seed", 0)?;
+    let fail_tops: usize = opts.flag_or("fail-tops", 0)?;
+    let fail_links: usize = opts.flag_or("fail-links", 0)?;
+    let json: bool = opts.flag_or("json", false)?;
+    if fail_tops > ft.m() {
+        return Err(CliError::Usage(format!(
+            "--fail-tops {fail_tops} exceeds the {} top switches",
+            ft.m()
+        )));
+    }
+
+    let ports = ft.num_leaves() as u32;
+    let suite: Vec<(String, Permutation)> = match opts.flag("pattern") {
+        Some(spec) => vec![(spec.to_string(), make_pattern(spec, ports, seed)?)],
+        None => standard_suite(ports),
+    };
+    let caps = ChannelCapacities::unit(ft.topology());
+
+    let faulted = fail_tops > 0 || fail_links > 0;
+    let mut faults = FaultSet::new();
+    for t in 0..fail_tops {
+        faults.fail_switch(ft.top(t));
+    }
+    if fail_links > 0 {
+        faults.merge(&FaultSet::random_links(ft.topology(), fail_links, seed));
+    }
+    let view = FaultyView::new(ft.topology(), &faults);
+
+    let fail = |e: ftclos_routing::RoutingError| CliError::Failed(e.to_string());
+    let reports = match (router.as_str(), faulted) {
+        ("yuan", false) => solve(&YuanDeterministic::new(&ft).map_err(fail)?, &suite, &caps),
+        ("yuan", true) => solve(
+            &FaultAware::new(YuanDeterministic::new(&ft).map_err(fail)?, &view),
+            &suite,
+            &caps,
+        ),
+        ("dmodk", false) => solve(&DModK::new(&ft), &suite, &caps),
+        ("dmodk", true) => solve(&FaultAware::new(DModK::new(&ft), &view), &suite, &caps),
+        ("smodk", false) => solve(&SModK::new(&ft), &suite, &caps),
+        ("smodk", true) => solve(&FaultAware::new(SModK::new(&ft), &view), &suite, &caps),
+        ("multipath", false) => solve(
+            &ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin),
+            &suite,
+            &caps,
+        ),
+        ("multipath", true) => solve(
+            &MaskedMultipath::new(
+                ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin),
+                &view,
+            ),
+            &suite,
+            &caps,
+        ),
+        ("adaptive", false) => {
+            let ad = NonblockingAdaptive::new(&ft).map_err(fail)?;
+            solve(&ad, &suite, &caps)
+        }
+        ("adaptive", true) => {
+            let ad = NonblockingAdaptive::new(&ft).map_err(fail)?;
+            solve(
+                &MaskedAdaptive::new(&ad, &view, PlanStrategy::GreedyLargestSubset),
+                &suite,
+                &caps,
+            )
+        }
+        ("greedy", false) => solve(
+            &ftclos_routing::GreedyLocalAdaptive::new(&ft),
+            &suite,
+            &caps,
+        ),
+        ("rearrangeable", false) => solve(
+            &ftclos_routing::RearrangeableRouter::new(&ft).map_err(fail)?,
+            &suite,
+            &caps,
+        ),
+        ("greedy" | "rearrangeable", true) => {
+            return Err(CliError::Usage(format!(
+                "router `{router}` has no fault-masked variant (drop --fail-tops/--fail-links)"
+            )))
+        }
+        (other, _) => {
+            return Err(CliError::Usage(format!(
+                "unknown router `{other}` (one of {FLOWSIM_ROUTERS:?})"
+            )))
+        }
+    };
+
+    if json {
+        return Ok(render_json(&reports));
+    }
+    render_text(&ft, &router, faulted, view.num_dead_channels(), &reports)
+}
+
+/// Sweep the suite through one view; routing failures become per-pattern
+/// error strings rather than sinking the whole command.
+fn solve<V: LinkLoadView + Sync + ?Sized>(
+    view: &V,
+    suite: &[(String, Permutation)],
+    caps: &ChannelCapacities,
+) -> Vec<(String, Result<FluidReport, String>)> {
+    sweep_patterns(view, suite, caps)
+        .into_iter()
+        .zip(suite)
+        .map(|(res, (name, _))| (name.clone(), res.map_err(|e| e.to_string())))
+        .collect()
+}
+
+fn render_json(reports: &[(String, Result<FluidReport, String>)]) -> String {
+    let items: Vec<String> = reports
+        .iter()
+        .map(|(name, res)| match res {
+            Ok(r) => r.to_json(),
+            Err(e) => format!(
+                "{{\"pattern\":{},\"error\":{}}}",
+                json_string(name),
+                json_string(e)
+            ),
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Minimal JSON string escaping for the error branch (reports escape their
+/// own fields).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn render_text(
+    ft: &Ftree,
+    router: &str,
+    faulted: bool,
+    dead_channels: usize,
+    reports: &[(String, Result<FluidReport, String>)],
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fluid flow-rate simulation: ftree({}+{}, {}), {} hosts, router {}{}",
+        ft.n(),
+        ft.m(),
+        ft.r(),
+        ft.num_leaves(),
+        router,
+        if faulted {
+            format!(" (fault-masked, {dead_channels} dead channel(s))")
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>10} {:>8} {:>8} {:>11} {:>7}  util deciles",
+        "pattern", "flows", "delivered", "mean", "worst", "demand-max", "rounds"
+    );
+    for (name, res) in reports {
+        match res {
+            Ok(r) => {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>6} {:>10.4} {:>8.4} {:>8.4} {:>11.4} {:>7}  {}{}",
+                    r.pattern,
+                    r.num_flows,
+                    r.aggregate_throughput,
+                    r.mean_rate,
+                    r.worst_rate,
+                    r.max_demand_congestion,
+                    r.rounds,
+                    r.utilization.to_compact_string(),
+                    if r.all_unit_rate { "  [full rate]" } else { "" }
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{name:<16} unroutable: {e}");
+            }
+        }
+    }
+    let delivered_all = reports
+        .iter()
+        .all(|(_, r)| r.as_ref().map(|r| r.all_unit_rate).unwrap_or(false));
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if delivered_all {
+            "every tested pattern delivered at full rate (fluid-nonblocking)"
+        } else {
+            "some pattern degrades below unit rate (fluid-blocking)"
+        }
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Opts {
+        Opts::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn yuan_full_fabric_delivers_everything() {
+        let out = run(&argv("2 4 5")).unwrap();
+        assert!(out.contains("fluid-nonblocking"), "{out}");
+        assert!(out.contains("[full rate]"), "{out}");
+    }
+
+    #[test]
+    fn undersized_single_path_degrades_on_some_pattern() {
+        // m = n: random permutations collide under d-mod-k.
+        let out = run(&argv("2 2 5 --router dmodk --pattern random --seed 3")).unwrap();
+        assert!(out.contains("fluid-blocking"), "{out}");
+    }
+
+    #[test]
+    fn json_is_emitted_and_structured() {
+        let out = run(&argv("2 4 5 --pattern shift:3 --json true")).unwrap();
+        assert!(
+            out.starts_with('[') && out.trim_end().ends_with(']'),
+            "{out}"
+        );
+        assert!(out.contains("\"router\":\"yuan-deterministic\""), "{out}");
+        assert!(out.contains("\"all_unit_rate\":true"), "{out}");
+    }
+
+    #[test]
+    fn fault_masked_multipath_concentrates_load() {
+        let out = run(&argv("2 4 5 --router multipath --fail-tops 1")).unwrap();
+        assert!(out.contains("fault-masked"), "{out}");
+        assert!(out.contains("dead channel"), "{out}");
+    }
+
+    #[test]
+    fn faulted_deterministic_reports_unroutable_patterns() {
+        // Yuan's pinned top (0,0) dies; shifts that use it become
+        // unroutable instead of crashing the command.
+        let out = run(&argv("2 4 5 --fail-tops 1 --pattern shift:2")).unwrap();
+        assert!(out.contains("unroutable"), "{out}");
+    }
+
+    #[test]
+    fn bad_inputs_are_usage_errors_not_panics() {
+        assert!(matches!(
+            run(&argv("2 4 5 --router warp")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv("2 4 5 --fail-tops 99")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv("2 4 5 --router greedy --fail-tops 1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv("2 4 5 --pattern nope")),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -6,6 +6,7 @@ pub mod churn;
 pub mod common;
 pub mod design;
 pub mod faults;
+pub mod flowsim;
 pub mod route;
 pub mod simulate;
 pub mod table1;

@@ -14,6 +14,8 @@
 //! ftclos churn  <n> <m> <r> [--links K] [--mtbf N] [--mttr N] [--cycles N]
 //!               [--rate F] [--mode pinned|percycle|hysteresis:K]
 //!               [--samples N] [--seed S] [--target F --max-m M]
+//! ftclos flowsim <n> <m> <r> [--router R] [--pattern P] [--seed S] [--json]
+//!                [--fail-tops K] [--fail-links K]
 //! ```
 //!
 //! Routers: `yuan` (Theorem 3, needs `m >= n²`), `dmodk`, `smodk`,
@@ -35,7 +37,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::Usage(USAGE.to_string()));
     };
-    let opts = Opts::parse(rest)?;
+    let rest = normalize_bare_flags(rest);
+    let opts = Opts::parse(&rest)?;
     match cmd.as_str() {
         "design" => commands::design::run(&opts),
         "table1" => commands::table1::run(&opts),
@@ -46,11 +49,32 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "blocking" => commands::blocking::run(&opts),
         "faults" => commands::faults::run(&opts),
         "churn" => commands::churn::run(&opts),
+        "flowsim" => commands::flowsim::run(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n{USAGE}"
         ))),
     }
+}
+
+/// Flags that are boolean switches: `--json` alone means `--json true`, so
+/// the value-taking [`Opts::parse`] grammar stays unchanged for everything
+/// else.
+const BARE_FLAGS: &[&str] = &["--json"];
+
+fn normalize_bare_flags(args: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len() + 1);
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        out.push(a.clone());
+        if BARE_FLAGS.contains(&a.as_str()) {
+            let has_value = it.peek().is_some_and(|next| !next.starts_with("--"));
+            if !has_value {
+                out.push("true".to_string());
+            }
+        }
+    }
+    out
 }
 
 /// Top-level usage text.
@@ -71,9 +95,12 @@ USAGE:
   ftclos churn  <n> <m> <r> [--links K] [--mtbf N] [--mttr N] [--cycles N]
                 [--rate F] [--mode pinned|percycle|hysteresis:K]
                 [--samples N] [--seed S] [--target F --max-m M]
+  ftclos flowsim <n> <m> <r> [--router R] [--pattern P] [--seed S] [--json]
+                 [--fail-tops K] [--fail-links K]
 
 PATTERNS: shift:<k> random transpose bitrev neighbor tornado identity
-ROUTERS:  yuan dmodk smodk adaptive greedy rearrangeable";
+ROUTERS:  yuan dmodk smodk adaptive greedy rearrangeable
+          (flowsim also accepts: multipath)";
 
 #[cfg(test)]
 mod tests {
@@ -133,6 +160,19 @@ mod tests {
             out.contains("time-to-reconverge") || out.contains("transition epoch"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn end_to_end_flowsim() {
+        let out = run(&argv("flowsim 2 4 5 --pattern shift:3")).unwrap();
+        assert!(out.contains("fluid-nonblocking"), "{out}");
+        // Bare --json (no value) is normalized to a boolean switch.
+        let out = run(&argv("flowsim 2 4 5 --pattern shift:3 --json")).unwrap();
+        assert!(out.trim_start().starts_with('['), "{out}");
+        assert!(out.contains("\"all_unit_rate\":true"), "{out}");
+        // --json before another flag must not swallow it.
+        let out = run(&argv("flowsim 2 4 5 --json --pattern shift:3")).unwrap();
+        assert!(out.contains("\"pattern\":\"shift:3\""), "{out}");
     }
 
     #[test]

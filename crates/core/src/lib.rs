@@ -55,4 +55,6 @@ pub use degraded::{
 };
 pub use design::{DesignPoint, TableOneRow};
 pub use search::BlockingReport;
-pub use verify::{ContentionWitness, LinkAudit};
+pub use verify::{
+    nonblocking_verdict, pattern_contention_free, ContentionWitness, LinkAudit, NonblockingVerdict,
+};

@@ -165,6 +165,50 @@ pub fn is_nonblocking_deterministic<R: SinglePathRouter + ?Sized>(router: &R) ->
     LinkAudit::build(router).lemma1_check(router).is_ok()
 }
 
+/// The exact checker's verdict packaged for differential tests against
+/// other subsystems (the fluid flow-rate simulator compares its "every
+/// flow reaches rate 1.0 on every pattern" fixed point against this).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NonblockingVerdict {
+    /// Lemma 1 holds: no permutation contends under the routing.
+    pub nonblocking: bool,
+    /// When blocking, a two-pair witness permutation that contends.
+    pub violation: Option<LinkViolation>,
+}
+
+impl NonblockingVerdict {
+    /// The blocking witness as a pair of SD pairs, if any.
+    pub fn witness_pairs(&self) -> Option<[SdPair; 2]> {
+        self.violation.as_ref().map(|v| {
+            [
+                SdPair::new(v.sources[0], v.destinations[0]),
+                SdPair::new(v.sources[1], v.destinations[1]),
+            ]
+        })
+    }
+}
+
+/// Run the complete Lemma 1 decision procedure and package the outcome.
+pub fn nonblocking_verdict<R: SinglePathRouter + ?Sized>(router: &R) -> NonblockingVerdict {
+    match LinkAudit::build(router).lemma1_check(router) {
+        Ok(()) => NonblockingVerdict {
+            nonblocking: true,
+            violation: None,
+        },
+        Err(v) => NonblockingVerdict {
+            nonblocking: false,
+            violation: Some(v),
+        },
+    }
+}
+
+/// Per-pattern exact check: does `assignment` route its pairs with zero
+/// channel sharing? (The fluid model's "all flows at rate 1.0" must agree
+/// with this on every pattern — the differential invariant.)
+pub fn pattern_contention_free(assignment: &RouteAssignment) -> bool {
+    find_contention(assignment).is_none()
+}
+
 /// Assert the stronger per-direction structure of the Theorem 3 routing on
 /// a topology: every channel leaving a leaf or bottom switch (uplink) has a
 /// single source; every channel entering a leaf or bottom switch (downlink)
@@ -255,6 +299,23 @@ mod tests {
         let (srcs, dsts) = audit.channel_census(up).unwrap();
         assert_eq!(srcs, &[0]); // source (0,0) = leaf 0
         assert_eq!(dsts.len(), 2); // r-1 = 2 destinations (w,0), w != 0
+    }
+
+    #[test]
+    fn verdict_packages_a_live_witness() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let router = DModK::new(&ft);
+        let v = nonblocking_verdict(&router);
+        assert!(!v.nonblocking);
+        let [a, b] = v.witness_pairs().unwrap();
+        let perm = Permutation::from_pairs(10, [a, b]).unwrap();
+        let assignment = route_all(&router, &perm).unwrap();
+        assert!(!pattern_contention_free(&assignment));
+
+        let roomy = Ftree::new(2, 4, 5).unwrap();
+        let yuan = YuanDeterministic::new(&roomy).unwrap();
+        let v = nonblocking_verdict(&yuan);
+        assert!(v.nonblocking && v.witness_pairs().is_none());
     }
 
     #[test]

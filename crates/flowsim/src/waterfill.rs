@@ -1,0 +1,369 @@
+//! Max-min fair water-filling over a [`FlowSet`].
+//!
+//! Progressive filling (Bertsekas & Gallager): every unfrozen flow's rate
+//! rises at the same speed; when a channel saturates, every flow crossing
+//! it freezes at the current water level; repeat until all flows are frozen
+//! or have hit their unit demand. The fixed point is *the* max-min fair
+//! allocation — no flow's rate can grow without shrinking a flow that is
+//! already no faster.
+//!
+//! The implementation is event-driven rather than incremental: a channel
+//! `c` carrying frozen load `consumed[c]` and unfrozen weight
+//! `active_weight[c]` saturates at absolute water level
+//! `(cap[c] - consumed[c]) / active_weight[c]`, so each round needs one
+//! scan over channels (the bottleneck search — parallelized with rayon)
+//! plus work proportional to the links of the flows that freeze. Rounds
+//! are bounded by the number of distinct bottleneck levels, which is tiny
+//! in practice (1 for a nonblocking routing), so fabrics with tens of
+//! thousands of hosts solve in milliseconds.
+//!
+//! Determinism: pure f64 arithmetic over a fixed iteration order; the
+//! parallel min-reduction is over `(level, channel id)` pairs with the
+//! lower id winning ties, so the result is independent of thread count.
+
+use crate::flows::FlowSet;
+use ftclos_topo::ChannelCapacities;
+use rayon::prelude::*;
+
+/// Relative slack used when comparing water levels: channels within
+/// `EPS` of the bottleneck level saturate together.
+const EPS: f64 = 1e-9;
+
+/// Weight below which a channel is treated as carrying no unfrozen flow
+/// (guards the division in the saturation level).
+const EPS_WEIGHT: f64 = 1e-12;
+
+/// Every flow demands at most one unit of injection bandwidth (a leaf
+/// sources at most one flow in a permutation, at link rate).
+const DEMAND: f64 = 1.0;
+
+/// The max-min fair fixed point for one routed pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FluidAllocation {
+    /// Rate of each flow, aligned with the flow set, in `[0, 1]`.
+    rates: Vec<f64>,
+    /// Allocated load per channel (`sum of rate x weight`), channel-id
+    /// indexed.
+    link_load: Vec<f64>,
+    /// Water-filling rounds until the fixed point.
+    rounds: usize,
+}
+
+impl FluidAllocation {
+    /// Per-flow rates.
+    #[inline]
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Allocated per-channel load.
+    #[inline]
+    pub fn link_loads(&self) -> &[f64] {
+        &self.link_load
+    }
+
+    /// Water-filling rounds to convergence.
+    #[inline]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Sum of all flow rates — aggregate delivered throughput in units of
+    /// link bandwidth.
+    pub fn aggregate_throughput(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Mean flow rate (1.0 for an empty allocation, matching the
+    /// convention that an empty pattern is trivially served).
+    pub fn mean_rate(&self) -> f64 {
+        if self.rates.is_empty() {
+            return 1.0;
+        }
+        self.aggregate_throughput() / self.rates.len() as f64
+    }
+
+    /// The slowest flow's rate (1.0 for an empty allocation).
+    pub fn worst_rate(&self) -> f64 {
+        self.rates.iter().copied().fold(1.0, f64::min)
+    }
+
+    /// True when every flow reached full unit rate — the fluid model's
+    /// definition of "this pattern is delivered crossbar-style".
+    pub fn all_unit_rate(&self) -> bool {
+        self.worst_rate() >= 1.0 - EPS
+    }
+}
+
+/// Run water-filling to the max-min fair fixed point under `caps`.
+///
+/// # Panics
+/// Panics if `caps` covers fewer channels than the flow set references
+/// (build both from the same topology).
+pub fn waterfill(flows: &FlowSet, caps: &ChannelCapacities) -> FluidAllocation {
+    assert!(
+        caps.len() >= flows.num_channels(),
+        "capacity map covers {} channels, flow set needs {}",
+        caps.len(),
+        flows.num_channels()
+    );
+    let nf = flows.num_flows();
+    let nc = flows.num_channels();
+    let mut rates = vec![f64::NAN; nf];
+    let mut consumed = vec![0.0f64; nc];
+    let mut active_weight = vec![0.0f64; nc];
+    let mut active = vec![false; nf];
+    let mut num_active = 0usize;
+
+    for i in 0..nf {
+        if flows.links(i).next().is_none() {
+            // Self-traffic or an otherwise linkless flow: served at demand
+            // without touching the network.
+            rates[i] = DEMAND;
+        } else {
+            active[i] = true;
+            num_active += 1;
+            for (c, w) in flows.links(i) {
+                active_weight[c] += w;
+            }
+        }
+    }
+
+    let mut rounds = 0usize;
+    while num_active > 0 {
+        rounds += 1;
+        // Bottleneck search: the channel that saturates at the lowest
+        // absolute water level. Parallel min-reduction, deterministic by
+        // (level, channel id).
+        let bottleneck = (0..nc)
+            .into_par_iter()
+            .filter_map(|c| {
+                let aw = active_weight[c];
+                if aw <= EPS_WEIGHT {
+                    return None;
+                }
+                let headroom = (caps.get(ftclos_topo::ChannelId(c as u32)) - consumed[c]).max(0.0);
+                Some((headroom / aw, c))
+            })
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+        let level = bottleneck.map_or(DEMAND, |(lvl, _)| lvl.min(DEMAND));
+        if level >= DEMAND - EPS {
+            // Demand event: every remaining flow reaches unit rate
+            // unconstrained.
+            for (i, rate) in rates.iter_mut().enumerate() {
+                if active[i] {
+                    *rate = DEMAND;
+                }
+            }
+            break;
+        }
+
+        // Freeze every active flow crossing a channel that saturates at
+        // (or within EPS of) the bottleneck level.
+        let threshold = level * (1.0 + EPS) + EPS_WEIGHT;
+        let saturated: Vec<usize> = (0..nc)
+            .into_par_iter()
+            .filter(|&c| {
+                let aw = active_weight[c];
+                if aw <= EPS_WEIGHT {
+                    return false;
+                }
+                let headroom = (caps.get(ftclos_topo::ChannelId(c as u32)) - consumed[c]).max(0.0);
+                headroom / aw <= threshold
+            })
+            .collect();
+
+        let mut frozen_any = false;
+        for &c in &saturated {
+            for &fi in flows.flows_on(c) {
+                let fi = fi as usize;
+                if !active[fi] {
+                    continue;
+                }
+                active[fi] = false;
+                num_active -= 1;
+                frozen_any = true;
+                rates[fi] = level;
+                for (ch, w) in flows.links(fi) {
+                    consumed[ch] += level * w;
+                    active_weight[ch] = (active_weight[ch] - w).max(0.0);
+                }
+            }
+        }
+        // Numerical safety net: a saturated channel whose flows were all
+        // frozen in this very round cannot stall the loop, but if rounding
+        // ever produced a saturated set with no active flow, stop rather
+        // than spin.
+        if !frozen_any {
+            for (i, rate) in rates.iter_mut().enumerate() {
+                if active[i] {
+                    *rate = level;
+                }
+            }
+            break;
+        }
+    }
+
+    // Materialize allocated link loads from the final rates.
+    let mut link_load = vec![0.0f64; nc];
+    for (i, &r) in rates.iter().enumerate() {
+        if r.is_nan() {
+            continue;
+        }
+        for (c, w) in flows.links(i) {
+            link_load[c] += r * w;
+        }
+    }
+    FluidAllocation {
+        rates,
+        link_load,
+        rounds,
+    }
+}
+
+/// Water-filling against the paper's homogeneous unit-capacity fabric.
+pub fn waterfill_unit(flows: &FlowSet) -> FluidAllocation {
+    // A throwaway uniform map sized to the flow set: avoids requiring the
+    // caller to thread a topology through when capacities are all 1.0.
+    let caps = unit_caps(flows.num_channels());
+    waterfill(flows, &caps)
+}
+
+/// A unit capacity map covering `num_channels` dense channel ids.
+fn unit_caps(num_channels: usize) -> ChannelCapacities {
+    ChannelCapacities::dense_uniform(num_channels, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::FlowSet;
+    use ftclos_routing::{
+        DModK, LinkLoadView, ObliviousMultipath, SpreadPolicy, YuanDeterministic,
+    };
+    use ftclos_topo::Ftree;
+    use ftclos_traffic::{patterns, Permutation, SdPair};
+
+    fn solve<V: LinkLoadView + ?Sized>(
+        view: &V,
+        ft: &Ftree,
+        perm: &Permutation,
+    ) -> FluidAllocation {
+        let set = FlowSet::from_view(view, perm, ft.topology().num_channels()).unwrap();
+        waterfill_unit(&set)
+    }
+
+    #[test]
+    fn nonblocking_routing_delivers_unit_rates() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let yuan = YuanDeterministic::new(&ft).unwrap();
+        for k in 1..10 {
+            let alloc = solve(&yuan, &ft, &patterns::shift(10, k));
+            assert!(alloc.all_unit_rate(), "shift:{k} must be fully delivered");
+            assert_eq!(alloc.worst_rate(), 1.0);
+            assert_eq!(alloc.rounds(), 1, "single demand event");
+        }
+    }
+
+    #[test]
+    fn two_flows_on_one_link_get_half_each() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let router = DModK::new(&ft);
+        // Both pairs pick top 0 (dst 4 and 6, mod 2 = 0) from switch 0.
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
+        let alloc = solve(&router, &ft, &perm);
+        assert_eq!(alloc.rates().len(), 2);
+        for &r in alloc.rates() {
+            assert!((r - 0.5).abs() < 1e-9, "fair share on the shared uplink");
+        }
+        assert!((alloc.aggregate_throughput() - 1.0).abs() < 1e-9);
+        assert!(!alloc.all_unit_rate());
+        // The shared uplink is exactly full.
+        let max_load = alloc.link_loads().iter().copied().fold(0.0, f64::max);
+        assert!((max_load - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxmin_is_not_just_uniform_fair_share() {
+        // Three flows: A and B share link L1; B also shares L2 with C... use
+        // a hand-built flow set to pin the classic max-min example:
+        //   L0: A, B   L1: B, C   => A = 1/2? No: max-min gives A=1/2, B=1/2,
+        //   C=1/2 only if both links bottleneck equally. Make C alone on a
+        //   wide path: A=1/2, B=1/2, C then rises to min(demand, remaining
+        //   L1 capacity) = 1/2 on L1. Instead give C a private link and B
+        //   two links: A,B on L0; B,C on L1 with cap 2 via two unit links is
+        //   not expressible -> use demand event: C alone on L2.
+        //   Expected: A = B = 1/2 (L0 bottleneck), C frozen later at
+        //   L1 residual = 1 - 1/2 = 1/2? C crosses L1 too: after B freezes
+        //   at 1/2, C's level on L1 can rise to 1 - 1/2 = 1/2... so C = 1/2.
+        //   And a fourth flow D on its own link reaches demand 1.0.
+        use ftclos_routing::FlowLinks;
+        use ftclos_topo::ChannelId;
+        let flows = [
+            FlowLinks::single_path(SdPair::new(0, 1), &[ChannelId(0)]), // A
+            FlowLinks::single_path(SdPair::new(2, 3), &[ChannelId(0), ChannelId(1)]), // B
+            FlowLinks::single_path(SdPair::new(4, 5), &[ChannelId(1)]), // C
+            FlowLinks::single_path(SdPair::new(6, 7), &[ChannelId(2)]), // D
+        ];
+        let set = FlowSet::from_flows(&flows, 3).unwrap();
+        let alloc = waterfill_unit(&set);
+        let r = alloc.rates();
+        assert!((r[0] - 0.5).abs() < 1e-9, "A shares L0");
+        assert!((r[1] - 0.5).abs() < 1e-9, "B bottlenecked by L0");
+        assert!((r[2] - 0.5).abs() < 1e-9, "C takes L1's residual");
+        assert!((r[3] - 1.0).abs() < 1e-9, "D unconstrained at demand");
+        assert!(alloc.rounds() >= 2, "two distinct freeze events");
+        assert!((alloc.worst_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multipath_spread_relieves_single_path_contention() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let perm = Permutation::from_pairs(10, [SdPair::new(0, 4), SdPair::new(1, 6)]).unwrap();
+        // Single-path dmodk halves both flows; uniform 2-way spread carries
+        // each uplink at 1/2 + 1/2 = 1 and delivers full rate.
+        let dmodk_alloc = solve(&DModK::new(&ft), &ft, &perm);
+        assert!((dmodk_alloc.worst_rate() - 0.5).abs() < 1e-9);
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let mp_alloc = solve(&mp, &ft, &perm);
+        assert!(mp_alloc.all_unit_rate(), "fluid spreading decontends m=n");
+    }
+
+    #[test]
+    fn self_traffic_served_for_free() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let yuan = YuanDeterministic::new(&ft).unwrap();
+        let alloc = solve(&yuan, &ft, &patterns::identity(10));
+        assert!(alloc.all_unit_rate());
+        assert_eq!(alloc.aggregate_throughput(), 10.0);
+        assert!(alloc.link_loads().iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn dead_capacity_zeroes_crossing_flows() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let router = DModK::new(&ft);
+        let perm = patterns::shift(10, 2);
+        let set = FlowSet::from_view(&router, &perm, ft.topology().num_channels()).unwrap();
+        let mut caps = ChannelCapacities::unit(ft.topology());
+        caps.set(ft.leaf_up_channel(0, 0), 0.0);
+        let alloc = waterfill(&set, &caps);
+        // The flow sourced at leaf (0,0) is pinned to the dead cable.
+        let dead_flow = (0..set.num_flows())
+            .find(|&i| set.pair(i).src == 0)
+            .unwrap();
+        assert_eq!(alloc.rates()[dead_flow], 0.0);
+        assert_eq!(alloc.worst_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_pattern_trivially_delivered() {
+        let set = FlowSet::from_flows(&[], 4).unwrap();
+        let alloc = waterfill_unit(&set);
+        assert_eq!(alloc.mean_rate(), 1.0);
+        assert_eq!(alloc.worst_rate(), 1.0);
+        assert!(alloc.all_unit_rate());
+        assert_eq!(alloc.aggregate_throughput(), 0.0);
+    }
+}

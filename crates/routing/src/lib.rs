@@ -26,6 +26,9 @@
 //! * [`ForwardingTables`] — per-switch `(input port, destination) → output
 //!   port` tables compiled from any single-path router, used by the packet
 //!   simulator as its distributed control plane.
+//! * [`LinkLoadView`] — the uniform per-link flow-set interface every router
+//!   (including the fault-masked variants) exposes to the fluid flow-rate
+//!   simulator in `ftclos-flowsim`.
 
 pub mod adaptive;
 pub mod assignment;
@@ -34,6 +37,7 @@ pub mod dmodk;
 pub mod error;
 pub mod fault_aware;
 pub mod greedy;
+pub mod loadview;
 pub mod multipath;
 pub mod path;
 pub mod rearrangeable;
@@ -50,6 +54,7 @@ pub use dmodk::{DModK, SModK};
 pub use error::RoutingError;
 pub use fault_aware::FaultAware;
 pub use greedy::GreedyLocalAdaptive;
+pub use loadview::{FlowLinks, LinkLoadView, MaskedAdaptive, MaskedMultipath};
 pub use multipath::{MultipathAssignment, ObliviousMultipath, SpreadPolicy};
 pub use path::Path;
 pub use rearrangeable::RearrangeableRouter;

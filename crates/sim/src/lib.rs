@@ -55,5 +55,5 @@ pub use engine::Simulator;
 pub use error::{ConfigError, SimError};
 pub use fault::{ChurnSchedule, FaultEvent, FaultSchedule};
 pub use policy::Policy;
-pub use stats::SimStats;
+pub use stats::{SimStats, UtilizationHistogram};
 pub use workload::Workload;

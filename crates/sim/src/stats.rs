@@ -116,6 +116,69 @@ impl SimStats {
             .map(|(i, _)| (i, self.channel_utilization(i)))
             .collect()
     }
+
+    /// Histogram of per-channel utilizations over the measurement window,
+    /// counting only channels that carried traffic.
+    pub fn utilization_histogram(&self) -> UtilizationHistogram {
+        UtilizationHistogram::from_utilizations(
+            self.channel_busy
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b > 0)
+                .map(|(i, _)| self.channel_utilization(i)),
+        )
+    }
+}
+
+/// Fixed-bucket histogram of link utilizations in `[0, 1]`, shared by the
+/// packet engine and the fluid flow-rate simulator so both report
+/// congestion in the same shape.
+///
+/// Ten equal buckets: `[0.0, 0.1), [0.1, 0.2), …, [0.9, 1.0]`; a
+/// utilization of exactly `1.0` (a saturated link) lands in the last
+/// bucket. Values outside `[0, 1]` are clamped.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationHistogram {
+    /// Channel counts per decile bucket.
+    pub buckets: [u64; 10],
+}
+
+impl UtilizationHistogram {
+    /// Bucket a stream of utilizations.
+    pub fn from_utilizations(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Self::default();
+        for u in values {
+            h.add(u);
+        }
+        h
+    }
+
+    /// Add one utilization sample (clamped to `[0, 1]`; NaN counts as 0).
+    pub fn add(&mut self, u: f64) {
+        let u = if u.is_nan() { 0.0 } else { u.clamp(0.0, 1.0) };
+        let idx = ((u * 10.0) as usize).min(9);
+        self.buckets[idx] += 1;
+    }
+
+    /// Total samples bucketed.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Channels in the last bucket (utilization in `[0.9, 1.0]`) — the
+    /// saturated tail.
+    pub fn saturated(&self) -> u64 {
+        self.buckets[9]
+    }
+
+    /// Render as a compact `a/b/…/j` decile string for text reports.
+    pub fn to_compact_string(&self) -> String {
+        self.buckets
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +209,34 @@ mod tests {
         assert_eq!(s.delivery_ratio(), 1.0);
         assert_eq!(s.channel_utilization(0), 0.0);
         assert!(s.hottest_channels(3).is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamping() {
+        let mut h = UtilizationHistogram::from_utilizations([0.0, 0.05, 0.15, 0.95, 1.0]);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.saturated(), 2);
+        assert_eq!(h.total(), 5);
+        h.add(2.0); // clamps into the saturated bucket
+        h.add(f64::NAN); // counts as zero
+        assert_eq!(h.saturated(), 3);
+        assert_eq!(h.buckets[0], 3);
+        assert_eq!(h.to_compact_string(), "3/1/0/0/0/0/0/0/0/3");
+    }
+
+    #[test]
+    fn stats_histogram_counts_used_channels_only() {
+        let s = SimStats {
+            window_cycles: 100,
+            channel_busy: vec![0, 50, 100, 25],
+            ..SimStats::default()
+        };
+        let h = s.utilization_histogram();
+        assert_eq!(h.total(), 3, "idle channel excluded");
+        assert_eq!(h.saturated(), 1);
+        assert_eq!(h.buckets[5], 1);
+        assert_eq!(h.buckets[2], 1);
     }
 
     #[test]

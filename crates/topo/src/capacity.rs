@@ -1,0 +1,127 @@
+//! Per-channel capacities for fluid (rate-based) traffic models.
+//!
+//! The paper's fabrics are homogeneous — every channel is one link of unit
+//! rate — but a rate allocator should not bake that in: oversubscribed
+//! uplinks, trunked cables, and mixed-generation hardware are all just
+//! per-channel capacity scalings. [`ChannelCapacities`] is the dense
+//! channel-indexed capacity vector the fluid simulator allocates against.
+
+use crate::ids::ChannelId;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Dense per-channel capacity map (rate units; `1.0` = one link rate).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChannelCapacities {
+    caps: Vec<f64>,
+}
+
+impl ChannelCapacities {
+    /// Every channel of `topo` at the same capacity.
+    ///
+    /// Non-finite or negative capacities are clamped to `0.0` (a dead
+    /// link), so the allocator never divides by a junk capacity.
+    pub fn uniform(topo: &Topology, capacity: f64) -> Self {
+        let capacity = if capacity.is_finite() && capacity > 0.0 {
+            capacity
+        } else {
+            0.0
+        };
+        Self {
+            caps: vec![capacity; topo.num_channels()],
+        }
+    }
+
+    /// Unit capacity everywhere — the paper's homogeneous fabric.
+    pub fn unit(topo: &Topology) -> Self {
+        Self::uniform(topo, 1.0)
+    }
+
+    /// A map over `num_channels` dense channel ids without a topology in
+    /// hand, every channel at `capacity` (clamped as in
+    /// [`ChannelCapacities::uniform`]). Useful for solvers that receive
+    /// only a channel count.
+    pub fn dense_uniform(num_channels: usize, capacity: f64) -> Self {
+        let capacity = if capacity.is_finite() && capacity > 0.0 {
+            capacity
+        } else {
+            0.0
+        };
+        Self {
+            caps: vec![capacity; num_channels],
+        }
+    }
+
+    /// Capacity of one channel.
+    ///
+    /// # Panics
+    /// Debug-panics if `c` is out of range (release indexing panics too).
+    #[inline]
+    pub fn get(&self, c: ChannelId) -> f64 {
+        self.caps[c.index()]
+    }
+
+    /// Override one channel's capacity (clamped as in
+    /// [`ChannelCapacities::uniform`]). Out-of-range ids are ignored.
+    pub fn set(&mut self, c: ChannelId, capacity: f64) {
+        if let Some(slot) = self.caps.get_mut(c.index()) {
+            *slot = if capacity.is_finite() && capacity > 0.0 {
+                capacity
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Number of channels covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// True when the map covers no channels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// The raw capacity slice, channel-id indexed.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftree::Ftree;
+
+    #[test]
+    fn uniform_covers_every_channel() {
+        let ft = Ftree::new(2, 2, 3).unwrap();
+        let caps = ChannelCapacities::unit(ft.topology());
+        assert_eq!(caps.len(), ft.topology().num_channels());
+        assert!(!caps.is_empty());
+        assert_eq!(caps.get(ft.up_channel(0, 1)), 1.0);
+    }
+
+    #[test]
+    fn set_and_clamp() {
+        let ft = Ftree::new(2, 2, 3).unwrap();
+        let mut caps = ChannelCapacities::uniform(ft.topology(), 2.5);
+        assert_eq!(caps.get(ft.leaf_up_channel(0, 0)), 2.5);
+        caps.set(ft.leaf_up_channel(0, 0), 0.5);
+        assert_eq!(caps.get(ft.leaf_up_channel(0, 0)), 0.5);
+        caps.set(ft.leaf_up_channel(0, 1), -3.0);
+        assert_eq!(caps.get(ft.leaf_up_channel(0, 1)), 0.0);
+        caps.set(ft.leaf_up_channel(1, 0), f64::NAN);
+        assert_eq!(caps.get(ft.leaf_up_channel(1, 0)), 0.0);
+        // Out-of-range set is a no-op, and junk uniform clamps to dead.
+        caps.set(ChannelId(u32::MAX), 1.0);
+        assert_eq!(
+            ChannelCapacities::uniform(ft.topology(), f64::INFINITY).get(ChannelId(0)),
+            0.0
+        );
+    }
+}

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod builder;
+pub mod capacity;
 pub mod channel;
 pub mod clos;
 pub mod crossbar;
@@ -52,6 +53,7 @@ pub mod topology;
 pub mod xgft;
 
 pub use builder::TopologyBuilder;
+pub use capacity::ChannelCapacities;
 pub use channel::Channel;
 pub use clos::Clos;
 pub use crossbar::{crossbar, Crossbar};

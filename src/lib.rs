@@ -11,6 +11,7 @@
 //! | [`routing`] | `ftclos-routing` | Theorem 3 deterministic routing, `d mod k`, oblivious multipath, NONBLOCKINGADAPTIVE (Fig. 4), greedy local adaptive, centralized edge-coloring, forwarding tables |
 //! | [`core`] | `ftclos-core` | Lemma 1 audits, blocking search, Lemma 2 solvers, bundled nonblocking fabrics, Table I designs |
 //! | [`sim`] | `ftclos-sim` | cycle-level VOQ packet simulator with pluggable path policies |
+//! | [`flowsim`] | `ftclos-flowsim` | deterministic max-min fair fluid flow-rate simulator (water-filling) for delivered throughput at datacenter scale |
 //! | [`analysis`] | `ftclos-analysis` | closed-form bounds, recurrences, power-law fits, cost models |
 //!
 //! ## Quick start
@@ -33,6 +34,7 @@
 
 pub use ftclos_analysis as analysis;
 pub use ftclos_core as core;
+pub use ftclos_flowsim as flowsim;
 pub use ftclos_routing as routing;
 pub use ftclos_sim as sim;
 pub use ftclos_topo as topo;
