@@ -1,0 +1,61 @@
+//! Contention-engine cost: arena build, epoch-stamped recounts and
+//! per-pattern checks, and the engine vs legacy two-pair blocking sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclos_bench::SEED;
+use ftclos_core::search::{find_blocking_two_pair, find_blocking_two_pair_legacy};
+use ftclos_core::verify::find_contention;
+use ftclos_core::{ContentionEngine, ContentionScratch};
+use ftclos_routing::{route_all, PathArena, YuanDeterministic};
+use ftclos_topo::Ftree;
+use ftclos_traffic::patterns;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena");
+    for &(n, r) in &[(2usize, 5usize), (3, 7), (4, 9)] {
+        let ft = Ftree::new(n, n * n, r).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let ports = n * r;
+        group.bench_with_input(BenchmarkId::new("build", ports), &router, |b, rt| {
+            b.iter(|| black_box(PathArena::build(rt).unwrap()))
+        });
+        let mut engine = ContentionEngine::new(&router).unwrap();
+        group.bench_function(BenchmarkId::new("recount", ports), |b| {
+            b.iter(|| {
+                engine.recount();
+                black_box(engine.lemma1_violation())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pattern_check");
+    let ft = Ftree::new(4, 16, 9).unwrap();
+    let yuan = YuanDeterministic::new(&ft).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED);
+    let perm = patterns::random_full(36, &mut rng);
+    let assignment = route_all(&yuan, &perm).unwrap();
+    group.bench_function("legacy_hashmap", |b| {
+        b.iter(|| black_box(find_contention(&assignment)))
+    });
+    let mut scratch = ContentionScratch::with_channels(ft.topology().num_channels());
+    group.bench_function("epoch_stamped", |b| {
+        b.iter(|| black_box(scratch.find_contention(&assignment)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("two_pair_sweep");
+    group.sample_size(10);
+    group.bench_function("engine", |b| {
+        b.iter(|| black_box(find_blocking_two_pair(&yuan)))
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| black_box(find_blocking_two_pair_legacy(&yuan)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

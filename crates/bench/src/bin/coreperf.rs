@@ -1,0 +1,206 @@
+//! E20 — arena-backed contention engine performance.
+//!
+//! Measures the optimized engine against the legacy `HashMap` machinery it
+//! replaced, on the ISSUE's reference fabric `ftree(4+16, 9)` (36 ports,
+//! 1260 cross-switch SD paths, ~794k two-pair patterns for the legacy
+//! sweep):
+//!
+//! * complete two-pair blocking sweep: `find_blocking_two_pair` (engine,
+//!   including the arena build) vs `find_blocking_two_pair_legacy`
+//!   (re-routes every pattern) — the headline ≥10× speedup;
+//! * full-fabric Lemma 1 audits per second: `ContentionEngine::recount` +
+//!   `lemma1_violation` vs `LinkAudit::build` + `lemma1_check`;
+//! * per-pattern contention checks per second: `ContentionScratch` (dense,
+//!   epoch-stamped) vs `verify::find_contention` (fresh `HashMap`);
+//! * peak arena bytes;
+//! * verdict-agreement smoke on one blocking and one nonblocking fabric.
+//!
+//! Results land in `BENCH_core.json` (hand-rolled JSON, stable key order)
+//! next to the working directory for CI artifact upload. Exits nonzero when
+//! any claim — including the ≥10× speedup — fails.
+
+use ftclos_bench::{banner, result_line, verdict, SEED};
+use ftclos_core::search::{find_blocking_two_pair, find_blocking_two_pair_legacy};
+use ftclos_core::verify::{find_contention, LinkAudit};
+use ftclos_core::{ContentionEngine, ContentionScratch};
+use ftclos_routing::{route_all, DModK, PathArena, YuanDeterministic};
+use ftclos_topo::Ftree;
+use ftclos_traffic::patterns;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Wall-clock of one call, in seconds.
+fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+/// Best (minimum) wall-clock of `reps` calls, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let (mut best, mut out) = time_once(&mut f);
+    for _ in 1..reps {
+        let (t, o) = time_once(&mut f);
+        if t < best {
+            best = t;
+            out = o;
+        }
+    }
+    (best, out)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let mut all_ok = true;
+
+    banner(
+        "E20",
+        "arena-backed contention engine vs legacy HashMap sweeps",
+    );
+    let (n, m, r) = (4usize, 16usize, 9usize);
+    let ft = Ftree::new(n, m, r).unwrap();
+    let yuan = YuanDeterministic::new(&ft).unwrap();
+    result_line("fabric", format!("ftree({n}+{m}, {r})"));
+    result_line("ports", n * r);
+
+    // Headline: the complete two-pair blocking sweep. The Yuan routing is
+    // nonblocking, so both sweeps must scan their whole search space — the
+    // legacy loop re-routes ~794k two-pair patterns, the engine routes 1260
+    // paths once and scans channels.
+    let (legacy_sweep_s, legacy_out) = time_once(|| find_blocking_two_pair_legacy(&yuan));
+    all_ok &= verdict(
+        legacy_out.is_nonblocking(),
+        "legacy sweep: ftree(4+16, 9) with Theorem 3 routing is nonblocking",
+    );
+    let (engine_sweep_s, engine_out) = time_best(5, || find_blocking_two_pair(&yuan));
+    all_ok &= verdict(
+        engine_out.is_nonblocking(),
+        "engine sweep: same fabric, same verdict",
+    );
+    let speedup = legacy_sweep_s / engine_sweep_s;
+    result_line(
+        "legacy_two_pair_sweep_ms",
+        format!("{:.3}", legacy_sweep_s * 1e3),
+    );
+    result_line(
+        "engine_two_pair_sweep_ms",
+        format!("{:.3}", engine_sweep_s * 1e3),
+    );
+    result_line("speedup", format!("{speedup:.1}x"));
+    all_ok &= verdict(speedup >= 10.0, "engine two-pair sweep is >= 10x faster");
+
+    // Full-fabric Lemma 1 audits per second.
+    let audit_reps = 20usize;
+    let (legacy_audit_s, _) = time_best(3, || {
+        for _ in 0..audit_reps {
+            let audit = LinkAudit::build(&yuan);
+            assert!(audit.lemma1_check(&yuan).is_ok());
+        }
+    });
+    let mut engine = ContentionEngine::new(&yuan).unwrap();
+    let (engine_audit_s, _) = time_best(3, || {
+        for _ in 0..audit_reps {
+            engine.recount();
+            assert!(engine.lemma1_violation().is_none());
+        }
+    });
+    let legacy_audits_per_sec = audit_reps as f64 / legacy_audit_s;
+    let engine_audits_per_sec = audit_reps as f64 / engine_audit_s;
+    result_line(
+        "legacy_audits_per_sec",
+        format!("{legacy_audits_per_sec:.0}"),
+    );
+    result_line(
+        "engine_audits_per_sec",
+        format!("{engine_audits_per_sec:.0}"),
+    );
+
+    // Per-pattern contention checks per second, over pre-routed random
+    // permutations (the hot shape in sweeps and fault sims).
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED);
+    let assignments: Vec<_> = (0..200)
+        .map(|_| {
+            let perm = patterns::random_full((n * r) as u32, &mut rng);
+            route_all(&yuan, &perm).unwrap()
+        })
+        .collect();
+    let (legacy_pat_s, _) = time_best(3, || {
+        for a in &assignments {
+            assert!(find_contention(a).is_none());
+        }
+    });
+    let mut scratch = ContentionScratch::with_channels(ft.topology().num_channels());
+    let (engine_pat_s, _) = time_best(3, || {
+        for a in &assignments {
+            assert!(scratch.find_contention(a).is_none());
+        }
+    });
+    let legacy_patterns_per_sec = assignments.len() as f64 / legacy_pat_s;
+    let engine_patterns_per_sec = assignments.len() as f64 / engine_pat_s;
+    result_line(
+        "legacy_patterns_per_sec",
+        format!("{legacy_patterns_per_sec:.0}"),
+    );
+    result_line(
+        "engine_patterns_per_sec",
+        format!("{engine_patterns_per_sec:.0}"),
+    );
+
+    let arena_bytes = PathArena::build(&yuan).unwrap().bytes();
+    result_line("arena_bytes", arena_bytes);
+
+    // Agreement smoke: one blocking and one nonblocking fabric, engine and
+    // legacy must concur (the full differential lives in the proptests).
+    let small = Ftree::new(2, 2, 5).unwrap();
+    let dmodk = DModK::new(&small);
+    let blocking_agree = find_blocking_two_pair(&dmodk).found_blocking()
+        && find_blocking_two_pair_legacy(&dmodk).found_blocking();
+    all_ok &= verdict(
+        blocking_agree,
+        "smoke: both sweeps find blocking on ftree(2+2, 5) d-mod-k",
+    );
+    let clean = Ftree::new(2, 4, 5).unwrap();
+    let clean_yuan = YuanDeterministic::new(&clean).unwrap();
+    let clean_agree = find_blocking_two_pair(&clean_yuan).is_nonblocking()
+        && find_blocking_two_pair_legacy(&clean_yuan).is_nonblocking();
+    all_ok &= verdict(
+        clean_agree,
+        "smoke: both sweeps clear ftree(2+4, 5) Theorem 3 routing",
+    );
+
+    // Machine-readable record for CI (hand-rolled: no serde_json in-tree).
+    let json = format!(
+        "{{\n  \"experiment\": \"E20\",\n  \"fabric\": \"ftree({n}+{m}, {r})\",\n  \
+         \"ports\": {ports},\n  \"legacy_two_pair_sweep_ms\": {lts},\n  \
+         \"engine_two_pair_sweep_ms\": {ets},\n  \"speedup\": {sp},\n  \
+         \"legacy_audits_per_sec\": {la},\n  \"engine_audits_per_sec\": {ea},\n  \
+         \"legacy_patterns_per_sec\": {lp},\n  \"engine_patterns_per_sec\": {ep},\n  \
+         \"arena_bytes\": {ab},\n  \"smoke_blocking_agree\": {sb},\n  \
+         \"smoke_nonblocking_agree\": {sn},\n  \"pass\": {pass}\n}}\n",
+        ports = n * r,
+        lts = json_f64(legacy_sweep_s * 1e3),
+        ets = json_f64(engine_sweep_s * 1e3),
+        sp = json_f64(speedup),
+        la = json_f64(legacy_audits_per_sec),
+        ea = json_f64(engine_audits_per_sec),
+        lp = json_f64(legacy_patterns_per_sec),
+        ep = json_f64(engine_patterns_per_sec),
+        ab = arena_bytes,
+        sb = blocking_agree,
+        sn = clean_agree,
+        pass = all_ok,
+    );
+    std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
+    result_line("written", "BENCH_core.json");
+
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

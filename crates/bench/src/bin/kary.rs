@@ -54,7 +54,7 @@ fn main() {
         let router = XgftRouter::dmod(&t);
         let witness = find_blocking_two_pair(&router);
         all_ok &= verdict(
-            witness.is_some(),
+            witness.found_blocking(),
             &format!("{k}-ary {n}-tree + dest-digit routing has a blocking two-pair pattern"),
         );
     }
@@ -62,7 +62,7 @@ fn main() {
     let ft43 = mport_ntree(4, 3).unwrap();
     let router43 = XgftRouter::dmod(&ft43);
     all_ok &= verdict(
-        find_blocking_two_pair(&router43).is_some(),
+        find_blocking_two_pair(&router43).found_blocking(),
         "FT(4,3) + dest-digit routing blocks",
     );
 

@@ -26,6 +26,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("faults", "E17  degraded operation under failures"),
     ("churn", "E18  transient-fault churn and availability"),
     ("flowsim", "E19  fluid max-min fair delivered throughput"),
+    ("coreperf", "E20  arena-backed contention engine vs legacy"),
     ("simval", "V1  simulator validation (HOL vs iSLIP)"),
     ("ablation", "A1-A3  design-choice ablations"),
 ];

@@ -31,8 +31,8 @@ fn main() {
                 ("d-mod-k", find_blocking_two_pair(&DModK::new(&ft))),
                 ("s-mod-k", find_blocking_two_pair(&SModK::new(&ft))),
             ] {
-                let found = witness.is_some();
-                if let Some(perm) = &witness {
+                let found = witness.found_blocking();
+                if let Some(perm) = witness.witness() {
                     let pairs = perm.pairs();
                     table.row([
                         n.to_string(),
@@ -47,7 +47,7 @@ fn main() {
                     &format!("n={n} r={r} m={m} {name}: blocking permutation exists"),
                 );
                 // Double-check the witness really contends.
-                if let Some(perm) = witness {
+                if let Some(perm) = witness.into_witness() {
                     let load = match name {
                         "d-mod-k" => route_all(&DModK::new(&ft), &perm)
                             .unwrap()
@@ -70,7 +70,7 @@ fn main() {
             &format!("n={n} r={r} m=n²: Theorem 3 routing is nonblocking"),
         );
         all_ok &= verdict(
-            find_blocking_two_pair(&DModK::new(&ft)).is_some(),
+            find_blocking_two_pair(&DModK::new(&ft)).found_blocking(),
             &format!("n={n} r={r} m=n²: d-mod-k STILL blocks (assignment matters)"),
         );
     }

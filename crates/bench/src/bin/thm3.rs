@@ -71,7 +71,7 @@ fn main() {
             ),
         );
         all_ok &= verdict(
-            find_blocking_two_pair(&router).is_none(),
+            find_blocking_two_pair(&router).is_nonblocking(),
             &format!(
                 "ftree({n}+{}, {r}): no blocking two-pair pattern exists",
                 n * n

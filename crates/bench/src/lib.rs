@@ -23,6 +23,7 @@
 //! | `faults` | E17 — degraded operation under injected failures |
 //! | `churn` | E18 — transient-fault churn, re-planning, availability |
 //! | `flowsim` | E19 — fluid max-min fair delivered throughput vs `m`, differential vs Lemma 1, 10k-host scale guard |
+//! | `coreperf` | E20 — arena-backed contention engine vs legacy sweeps, emits `BENCH_core.json` |
 //! | `repro` | all of the above, in order |
 
 use std::io::Write as _;

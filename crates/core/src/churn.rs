@@ -20,6 +20,7 @@
 use crate::degraded::{adaptive_degraded_verdict, DegradedVerdict};
 use ftclos_routing::RoutingError;
 use ftclos_topo::{ChannelId, FaultSet, FaultyView, Ftree, Transition};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -142,7 +143,9 @@ impl AvailabilityReport {
 /// same-cycle flap of one channel nets to *up*, matching the simulator.
 /// Events at or past the horizon are ignored. Identical fault sets are
 /// checked once and the verdict reused — flapping traces revisit the same
-/// few sets over and over.
+/// few sets over and over. The distinct fault sets are independent, so the
+/// replay first walks the trace to enumerate epochs, then judges each
+/// *unique* fault set in parallel before assembling the time-ordered report.
 ///
 /// # Errors
 /// Propagates router-construction and pattern errors other than the
@@ -161,9 +164,10 @@ pub fn availability(
         .collect();
     sorted.sort_unstable();
 
+    // Pass 1 (cheap): replay transitions into constant-fault epochs keyed by
+    // their sorted failed-channel set.
     let mut faults = FaultSet::new();
-    let mut epochs = Vec::new();
-    let mut cache: BTreeMap<Vec<ChannelId>, DegradedVerdict> = BTreeMap::new();
+    let mut intervals: Vec<(u64, u64, Vec<ChannelId>)> = Vec::new();
     let mut i = 0usize;
     let mut start = 0u64;
     while start < horizon {
@@ -173,24 +177,43 @@ pub fn availability(
             i += 1;
         }
         let end = sorted.get(i).map(|e| e.cycle).unwrap_or(horizon);
-        let key: Vec<ChannelId> = faults.failed_channels().collect();
-        let verdict = match cache.get(&key) {
-            Some(v) => v.clone(),
-            None => {
-                let view = FaultyView::new(ft.topology(), &faults);
-                let v = adaptive_degraded_verdict(ft, &view, samples, seed)?;
-                cache.insert(key.clone(), v.clone());
-                v
-            }
-        };
-        epochs.push(EpochVerdict {
-            start,
-            end,
-            down_channels: key.len(),
-            verdict,
-        });
+        intervals.push((start, end, faults.failed_channels().collect()));
         start = end;
     }
+
+    // Pass 2 (expensive): one checker run per unique fault set, in parallel.
+    let unique: Vec<&Vec<ChannelId>> = {
+        let mut seen = BTreeMap::new();
+        for (_, _, key) in &intervals {
+            seen.entry(key.clone()).or_insert(key);
+        }
+        seen.into_values().collect()
+    };
+    let verdicts: Vec<Result<DegradedVerdict, RoutingError>> = unique
+        .par_iter()
+        .map(|key| {
+            let mut f = FaultSet::new();
+            for &c in key.iter() {
+                f.apply_channel(c, Transition::Down);
+            }
+            let view = FaultyView::new(ft.topology(), &f);
+            adaptive_degraded_verdict(ft, &view, samples, seed)
+        })
+        .collect();
+    let mut cache: BTreeMap<&Vec<ChannelId>, DegradedVerdict> = BTreeMap::new();
+    for (key, verdict) in unique.iter().zip(verdicts) {
+        cache.insert(key, verdict?);
+    }
+
+    let epochs = intervals
+        .iter()
+        .map(|(start, end, key)| EpochVerdict {
+            start: *start,
+            end: *end,
+            down_channels: key.len(),
+            verdict: cache[key].clone(),
+        })
+        .collect();
     Ok(AvailabilityReport { horizon, epochs })
 }
 

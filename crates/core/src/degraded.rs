@@ -18,14 +18,16 @@
 //!    while `C(m, k)` fits a budget, and sampled (adversarial candidates
 //!    first, then random) beyond.
 
+use crate::engine::LinkCensus;
 use crate::verify::LinkViolation;
-use ftclos_routing::{NonblockingAdaptive, RoutingError, SinglePathRouter};
+use ftclos_routing::{NonblockingAdaptive, PathArena, RoutingError, SinglePathRouter};
 use ftclos_topo::{ChannelId, FaultSet, FaultyView, Ftree};
 use ftclos_traffic::enumerate::AllPermutations;
 use ftclos_traffic::{patterns, SdPair};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -69,7 +71,94 @@ impl DeterministicDegradation {
 /// For the Theorem 3 routing the survivors always pass (a subset of a
 /// Lemma 1-clean pair set is clean); the audit earns its keep on sabotaged
 /// or blocking routers where faults can *mask* pre-existing violations.
+///
+/// Engine-backed: all paths are routed once into a [`PathArena`], the
+/// surviving pairs censused into a dense [`LinkCensus`], and the violation
+/// witness (lowest violating channel id) materialized from the arena's
+/// pair-incidence list restricted to survivors.
+/// [`deterministic_degradation_legacy`] keeps the `HashMap` census as the
+/// differential oracle.
 pub fn deterministic_degradation<R: SinglePathRouter + ?Sized>(
+    router: &R,
+    view: &FaultyView<'_>,
+) -> DeterministicDegradation {
+    let ports = router.ports();
+    let arena = match PathArena::build(router) {
+        Ok(a) => a,
+        // Routers that cannot serve their own universe degrade to the
+        // legacy per-pair accounting (which reports them pair by pair).
+        Err(_) => return deterministic_degradation_legacy(router, view),
+    };
+    let mut unroutable = Vec::new();
+    let mut census = LinkCensus::with_channels(arena.num_channels());
+    census.begin(arena.num_channels());
+    let mut total_pairs = 0usize;
+    for s in 0..ports {
+        for d in 0..ports {
+            if s == d {
+                continue;
+            }
+            total_pairs += 1;
+            let path = arena.path(SdPair::new(s, d));
+            match view.path_alive(path) {
+                Ok(()) => {
+                    for &c in path {
+                        census.record(c, s, d);
+                    }
+                }
+                Err(ftclos_topo::FaultError::DeadChannel { channel }) => {
+                    unroutable.push((SdPair::new(s, d), channel));
+                }
+                Err(ftclos_topo::FaultError::DeadNode { .. }) => {
+                    unreachable!("path_alive reports dead paths via their channels")
+                }
+            }
+        }
+    }
+    let lemma1 = match census.first_violation() {
+        None => Ok(()),
+        Some(channel) => {
+            // Surviving pairs crossing the violating channel, in arena order.
+            let crossing: Vec<SdPair> = arena
+                .sd_pairs_on(channel)
+                .filter(|p| view.path_alive(arena.path(*p)).is_ok())
+                .collect();
+            Err(two_pair_violation(channel, &crossing)
+                .expect("census over survivors saw >= 2 sources and destinations"))
+        }
+    };
+    DeterministicDegradation {
+        total_pairs,
+        unroutable,
+        lemma1,
+    }
+}
+
+/// Two crossing pairs with distinct sources and destinations, if the list
+/// admits them (it always does when it spans ≥2 sources and ≥2
+/// destinations).
+fn two_pair_violation(channel: ChannelId, crossing: &[SdPair]) -> Option<LinkViolation> {
+    let a = *crossing.first()?;
+    let b = *crossing.iter().find(|q| q.src != a.src)?;
+    if b.dst != a.dst {
+        return Some(LinkViolation {
+            channel,
+            sources: [a.src, b.src],
+            destinations: [a.dst, b.dst],
+        });
+    }
+    let t = *crossing.iter().find(|q| q.dst != a.dst)?;
+    let other = if t.src != a.src { a } else { b };
+    Some(LinkViolation {
+        channel,
+        sources: [other.src, t.src],
+        destinations: [other.dst, t.dst],
+    })
+}
+
+/// The original `HashMap`-census degradation audit, kept as the
+/// differential oracle for [`deterministic_degradation`].
+pub fn deterministic_degradation_legacy<R: SinglePathRouter + ?Sized>(
     router: &R,
     view: &FaultyView<'_>,
 ) -> DeterministicDegradation {
@@ -189,22 +278,32 @@ pub fn adaptive_degraded_verdict(
             .collect()
     };
     let permutations = perms.len();
-    for perm in perms {
-        match router.route_pattern_masked(&perm, view) {
+    // Each permutation is judged independently; the first non-clean outcome
+    // *in sweep order* is the verdict, regardless of evaluation schedule.
+    let outcomes: Vec<Result<Option<DegradedVerdict>, RoutingError>> = perms
+        .par_iter()
+        .map(|perm| match router.route_pattern_masked(perm, view) {
             Ok(a) => {
                 if a.max_channel_load() > 1 {
-                    return Ok(DegradedVerdict::Contention {
+                    Ok(Some(DegradedVerdict::Contention {
                         pairs: perm.pairs().to_vec(),
-                    });
+                    }))
+                } else {
+                    Ok(None)
                 }
             }
             Err(RoutingError::NoLivePath { src, dst }) => {
-                return Ok(DegradedVerdict::Unroutable { src, dst })
+                Ok(Some(DegradedVerdict::Unroutable { src, dst }))
             }
             Err(RoutingError::NotEnoughTops { needed, available }) => {
-                return Ok(DegradedVerdict::PlanExhausted { needed, available })
+                Ok(Some(DegradedVerdict::PlanExhausted { needed, available }))
             }
-            Err(e) => return Err(e),
+            Err(e) => Err(e),
+        })
+        .collect();
+    for outcome in outcomes {
+        if let Some(verdict) = outcome? {
+            return Ok(verdict);
         }
     }
     Ok(DegradedVerdict::ContentionFree {
@@ -282,19 +381,28 @@ pub fn max_survivable_top_failures(
         let mut all_clear = true;
         let mut permutations = 0usize;
         let mut perms_exhaustive = true;
-        for (i, subset) in subsets.iter().enumerate() {
-            let mut faults = FaultSet::new();
-            for &t in subset {
-                faults.fail_switch(ft.top(t));
-            }
-            let view = FaultyView::new(ft.topology(), &faults);
-            let verdict = adaptive_degraded_verdict(
-                ft,
-                &view,
-                perms_per_subset,
-                seed ^ (k as u64) ^ ((i as u64) << 20),
-            )?;
-            match verdict {
+        // Subsets are independent: judge them all in parallel, then scan in
+        // enumeration order so the reported counterexample and accumulated
+        // permutation counts match the sequential sweep exactly.
+        let verdicts: Vec<Result<DegradedVerdict, RoutingError>> = subsets
+            .par_iter()
+            .enumerate()
+            .map(|(i, subset)| {
+                let mut faults = FaultSet::new();
+                for &t in subset {
+                    faults.fail_switch(ft.top(t));
+                }
+                let view = FaultyView::new(ft.topology(), &faults);
+                adaptive_degraded_verdict(
+                    ft,
+                    &view,
+                    perms_per_subset,
+                    seed ^ (k as u64) ^ ((i as u64) << 20),
+                )
+            })
+            .collect();
+        for (subset, verdict) in subsets.iter().zip(verdicts) {
+            match verdict? {
                 DegradedVerdict::ContentionFree {
                     permutations: p,
                     exhaustive: e,
@@ -512,6 +620,43 @@ mod tests {
         let level = rep.levels.last().unwrap();
         assert!(level.counterexample.is_some());
         assert!(!level.verdict.survives());
+    }
+
+    #[test]
+    fn degradation_engine_matches_legacy_oracle() {
+        // Blocking, clean, and faulted-clean cases; verdicts must agree and
+        // any violation witness must be genuine (the legacy HashMap census
+        // iterates in arbitrary order, so only validity is comparable).
+        type DeadLeafDown = &'static [(u32, u32)];
+        let cases: [(u32, u32, u32, DeadLeafDown); 3] =
+            [(2, 2, 5, &[(4, 1)]), (2, 4, 5, &[]), (2, 4, 5, &[(1, 0)])];
+        for (n, m, r, dead_leaf_down) in cases {
+            let ft = Ftree::new(n as usize, m as usize, r as usize).unwrap();
+            let mut faults = FaultSet::new();
+            for &(leaf, port) in dead_leaf_down {
+                faults.fail_channel(ft.leaf_down_channel(leaf as usize, port as usize));
+            }
+            let view = FaultyView::new(ft.topology(), &faults);
+            let dmodk = DModK::new(&ft);
+            let new = deterministic_degradation(&dmodk, &view);
+            let old = deterministic_degradation_legacy(&dmodk, &view);
+            assert_eq!(new.total_pairs, old.total_pairs);
+            assert_eq!(new.unroutable, old.unroutable, "ftree({n}+{m},{r})");
+            assert_eq!(new.lemma1.is_ok(), old.lemma1.is_ok(), "ftree({n}+{m},{r})");
+            for v in [&new.lemma1, &old.lemma1]
+                .into_iter()
+                .filter_map(|l| l.as_ref().err())
+            {
+                assert_ne!(v.sources[0], v.sources[1]);
+                assert_ne!(v.destinations[0], v.destinations[1]);
+                for i in 0..2 {
+                    let pair = SdPair::new(v.sources[i], v.destinations[i]);
+                    let path = dmodk.route(pair);
+                    assert!(path.channels().contains(&v.channel), "{v:?}");
+                    assert!(view.path_alive(path.channels()).is_ok(), "{v:?}");
+                }
+            }
+        }
     }
 
     #[test]

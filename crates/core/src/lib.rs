@@ -5,11 +5,15 @@
 //! * [`verify`] — the Lemma 1 machinery: link audits (`one source or one
 //!   destination` per channel), contention detection, and the exact
 //!   nonblocking decision procedure for single-path deterministic routing.
+//! * [`engine`] — the arena-backed contention engine: all SD paths routed
+//!   once into CSR storage, dense epoch-stamped link censuses, and the
+//!   per-channel pair-incidence reformulation that collapses the `O(p⁴)`
+//!   two-pair sweep into a parallel channel scan.
 //! * [`search`] — blocking-permutation search: complete two-pair enumeration
 //!   for deterministic routers (Lemma 1 reduces blocking to two-pair
-//!   patterns), exhaustive permutation sweeps for tiny fabrics, randomized
-//!   sweeps and blocking-fraction estimation (rayon-parallel) for everything
-//!   else.
+//!   patterns, decided via the engine with the legacy loop kept as oracle),
+//!   exhaustive permutation sweeps for tiny fabrics, randomized sweeps and
+//!   blocking-fraction estimation (rayon-parallel) for everything else.
 //! * [`lemma2`] — the Lemma 2 counting problem: the maximum number of SD
 //!   pairs routable through one top-level switch, with an exact mode-based
 //!   solver for small fabrics, an explicit `r(r-1)` construction, and the
@@ -38,6 +42,7 @@ pub mod circuit;
 pub mod construct;
 pub mod degraded;
 pub mod design;
+pub mod engine;
 pub mod flow;
 pub mod lemma2;
 pub mod search;
@@ -50,11 +55,16 @@ pub use churn::{
 pub use circuit::{CircuitClos, ConnectError, MiddlePolicy};
 pub use construct::{NonblockingFtree, NonblockingThreeLevel};
 pub use degraded::{
-    adaptive_degraded_verdict, deterministic_degradation, max_survivable_top_failures,
-    DegradedVerdict, DeterministicDegradation, KLevel, SurvivabilityReport,
+    adaptive_degraded_verdict, deterministic_degradation, deterministic_degradation_legacy,
+    max_survivable_top_failures, DegradedVerdict, DeterministicDegradation, KLevel,
+    SurvivabilityReport,
 };
 pub use design::{DesignPoint, TableOneRow};
-pub use search::BlockingReport;
+pub use engine::{ContentionEngine, ContentionScratch, LinkCensus};
+pub use search::{
+    find_blocking_two_pair, find_blocking_two_pair_legacy, BlockingReport, TwoPairOutcome,
+};
 pub use verify::{
-    nonblocking_verdict, pattern_contention_free, ContentionWitness, LinkAudit, NonblockingVerdict,
+    nonblocking_verdict, nonblocking_verdict_legacy, pattern_contention_free, ContentionWitness,
+    LinkAudit, NonblockingVerdict,
 };

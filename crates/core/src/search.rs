@@ -1,25 +1,112 @@
 //! Blocking-permutation search and blocking-probability estimation.
 
+use crate::engine::ContentionEngine;
 use crate::verify::find_contention;
-use ftclos_routing::{route_all, PatternRouter, SinglePathRouter};
+use ftclos_routing::{route_all, PatternRouter, RoutingError, SinglePathRouter};
 use ftclos_traffic::enumerate::{AllPermutations, TwoPairs};
 use ftclos_traffic::{patterns, Permutation};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-/// Complete blocking search for single-path deterministic routers: by
-/// Lemma 1 a blocking permutation exists **iff** a two-pair pattern blocks,
-/// so scanning [`TwoPairs`] is exhaustive. Returns the first blocking
-/// pattern found.
-pub fn find_blocking_two_pair<R: SinglePathRouter + ?Sized>(router: &R) -> Option<Permutation> {
-    for perm in TwoPairs::new(router.ports(), true) {
-        let a = route_all(router, &perm).ok()?;
-        if find_contention(&a).is_some() {
-            return Some(perm);
+/// Outcome of the complete two-pair blocking search.
+///
+/// The search previously returned `Option<Permutation>` computed with
+/// `route_all(..).ok()?`, so a routing *error* silently terminated the scan
+/// and read as "no blocking permutation found". The three cases are now
+/// distinct: a blocking witness, a routing failure (the claim is
+/// undecided), or a genuinely exhausted search (the router is nonblocking).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TwoPairOutcome {
+    /// A two-pair permutation that blocks (two pairs with distinct sources
+    /// and distinct destinations share a channel).
+    Blocking(Permutation),
+    /// The router failed to route some pair — the search is inconclusive,
+    /// NOT a nonblocking verdict.
+    RoutingFailed(RoutingError),
+    /// Every two-pair pattern routed contention-free: the router is
+    /// nonblocking (Lemma 1 makes two-pair patterns a complete test).
+    Exhausted {
+        /// Distinct SD paths covered by the sweep (`ports·(ports-1)`).
+        paths_covered: usize,
+    },
+}
+
+impl TwoPairOutcome {
+    /// The blocking witness, if the search found one.
+    pub fn witness(&self) -> Option<&Permutation> {
+        match self {
+            TwoPairOutcome::Blocking(p) => Some(p),
+            _ => None,
         }
     }
-    None
+
+    /// Consume into the blocking witness, if any.
+    pub fn into_witness(self) -> Option<Permutation> {
+        match self {
+            TwoPairOutcome::Blocking(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// True when the search completed and found no blocking pattern — a
+    /// positive nonblocking verdict (routing errors return `false` here AND
+    /// `false` from [`TwoPairOutcome::found_blocking`]).
+    pub fn is_nonblocking(&self) -> bool {
+        matches!(self, TwoPairOutcome::Exhausted { .. })
+    }
+
+    /// True when a blocking witness was found.
+    pub fn found_blocking(&self) -> bool {
+        matches!(self, TwoPairOutcome::Blocking(_))
+    }
+}
+
+/// Complete blocking search for single-path deterministic routers: by
+/// Lemma 1 a blocking permutation exists **iff** a two-pair pattern blocks.
+///
+/// Engine-backed: routes all `ports·(ports-1)` SD paths once into a
+/// [`ftclos_routing::PathArena`] and scans per-channel pair-incidence lists
+/// instead of routing `O(ports⁴)` two-pair patterns — two pairs block iff
+/// their cached paths share a channel whose census has ≥2 sources and ≥2
+/// destinations. The channel scan runs in parallel with a deterministic
+/// first-witness reduction (lowest violating channel id), so the witness is
+/// stable across thread counts. [`find_blocking_two_pair_legacy`] keeps the
+/// original loop as the differential oracle.
+pub fn find_blocking_two_pair<R: SinglePathRouter + ?Sized>(router: &R) -> TwoPairOutcome {
+    let engine = match ContentionEngine::new(router) {
+        Ok(e) => e,
+        Err(e) => return TwoPairOutcome::RoutingFailed(e),
+    };
+    match engine.blocking_witness() {
+        Some((_, pairs)) => match Permutation::from_pairs(router.ports(), pairs) {
+            Ok(perm) => TwoPairOutcome::Blocking(perm),
+            Err(_) => unreachable!("witness pairs have distinct sources and destinations"),
+        },
+        None => TwoPairOutcome::Exhausted {
+            paths_covered: engine.arena().num_pairs(),
+        },
+    }
+}
+
+/// The original `O(ports⁴)` route-everything two-pair sweep, kept as the
+/// differential oracle for [`find_blocking_two_pair`] (and for the E20
+/// before/after benchmark). Same typed outcome; routing errors are reported
+/// instead of silently reading as "nonblocking".
+pub fn find_blocking_two_pair_legacy<R: SinglePathRouter + ?Sized>(router: &R) -> TwoPairOutcome {
+    let ports = router.ports();
+    for perm in TwoPairs::new(ports, true) {
+        let a = match route_all(router, &perm) {
+            Ok(a) => a,
+            Err(e) => return TwoPairOutcome::RoutingFailed(e),
+        };
+        if find_contention(&a).is_some() {
+            return TwoPairOutcome::Blocking(perm);
+        }
+    }
+    TwoPairOutcome::Exhausted {
+        paths_covered: (ports as usize) * (ports as usize).saturating_sub(1),
+    }
 }
 
 /// Exhaustive sweep of every full permutation (use only for tiny fabrics,
@@ -186,7 +273,9 @@ mod tests {
     fn two_pair_search_finds_dmodk_witness() {
         let ft = Ftree::new(2, 2, 5).unwrap();
         let router = DModK::new(&ft);
-        let perm = find_blocking_two_pair(&router).expect("m < n^2 must block");
+        let outcome = find_blocking_two_pair(&router);
+        assert!(outcome.found_blocking() && !outcome.is_nonblocking());
+        let perm = outcome.into_witness().expect("m < n^2 must block");
         let a = route_all(&router, &perm).unwrap();
         assert!(a.max_channel_load() >= 2);
     }
@@ -195,7 +284,62 @@ mod tests {
     fn two_pair_search_clears_yuan() {
         let ft = Ftree::new(2, 4, 5).unwrap();
         let router = YuanDeterministic::new(&ft).unwrap();
-        assert!(find_blocking_two_pair(&router).is_none());
+        let outcome = find_blocking_two_pair(&router);
+        assert!(outcome.is_nonblocking());
+        assert_eq!(outcome, TwoPairOutcome::Exhausted { paths_covered: 90 });
+        assert!(outcome.witness().is_none());
+    }
+
+    #[test]
+    fn two_pair_engine_agrees_with_legacy_loop() {
+        for (n, m, r) in [(2usize, 2usize, 5usize), (2, 4, 5), (3, 4, 6), (3, 9, 7)] {
+            let ft = Ftree::new(n, m, r).unwrap();
+            let router = DModK::new(&ft);
+            let fast = find_blocking_two_pair(&router);
+            let slow = find_blocking_two_pair_legacy(&router);
+            assert_eq!(
+                fast.is_nonblocking(),
+                slow.is_nonblocking(),
+                "n={n} m={m} r={r}"
+            );
+            assert_eq!(fast.found_blocking(), slow.found_blocking());
+            // Witnesses may differ (the engine normalizes on the lowest
+            // violating channel); both must actually contend.
+            for w in [fast.witness(), slow.witness()].into_iter().flatten() {
+                let a = route_all(&router, w).unwrap();
+                assert!(a.max_channel_load() >= 2, "n={n} m={m} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_pair_legacy_reports_routing_errors() {
+        use ftclos_routing::{Path, RoutingError};
+        use ftclos_traffic::SdPair;
+        /// Claims 4 ports but routes none of them.
+        struct Liar;
+        impl ftclos_routing::SinglePathRouter for Liar {
+            fn ports(&self) -> u32 {
+                4
+            }
+            fn route(&self, _: SdPair) -> Path {
+                Path::empty()
+            }
+            fn try_route(&self, _: SdPair) -> Result<Path, RoutingError> {
+                Err(RoutingError::PortOutOfRange { port: 0, ports: 0 })
+            }
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+        }
+        let fast = find_blocking_two_pair(&Liar);
+        let slow = find_blocking_two_pair_legacy(&Liar);
+        assert!(matches!(fast, TwoPairOutcome::RoutingFailed(_)), "{fast:?}");
+        assert!(matches!(slow, TwoPairOutcome::RoutingFailed(_)), "{slow:?}");
+        assert!(
+            !fast.is_nonblocking(),
+            "errors must not read as nonblocking"
+        );
     }
 
     #[test]

@@ -6,7 +6,20 @@
 //! cross-switch SD pairs and checks exactly that predicate per directed
 //! channel — a complete, exact decision procedure for nonblocking-ness
 //! under deterministic routing.
+//!
+//! Two implementations coexist, deliberately:
+//!
+//! * the **engine path** ([`crate::engine::ContentionEngine`]) routes every
+//!   pair once into a [`ftclos_routing::PathArena`] and decides the
+//!   predicate from dense epoch-stamped censuses — this is what the public
+//!   entry points ([`is_nonblocking_deterministic`], [`nonblocking_verdict`])
+//!   use;
+//! * the **legacy path** ([`LinkAudit`], [`find_contention`],
+//!   [`nonblocking_verdict_legacy`]) keeps the original `HashMap`-based
+//!   audit verbatim as a differential oracle — the proptests in
+//!   `tests/engine_differential.rs` pin both sides to identical verdicts.
 
+use crate::engine::ContentionEngine;
 use ftclos_routing::{RouteAssignment, SinglePathRouter};
 use ftclos_topo::{ChannelId, Topology};
 use ftclos_traffic::SdPair;
@@ -25,6 +38,11 @@ pub struct ContentionWitness {
 }
 
 /// Find two pairs of `assignment` sharing a channel, if any.
+///
+/// One-shot reference implementation (hashes every channel). Hot loops that
+/// check many assignments should reuse a
+/// [`crate::engine::ContentionScratch`] instead — same contract, dense
+/// epoch-stamped tables, zero per-call allocation.
 pub fn find_contention(assignment: &RouteAssignment) -> Option<ContentionWitness> {
     let mut owner: HashMap<ChannelId, SdPair> = HashMap::new();
     for (pair, path) in assignment.routes() {
@@ -45,6 +63,11 @@ pub fn find_contention(assignment: &RouteAssignment) -> Option<ContentionWitness
 }
 
 /// Per-channel source/destination census under a routing function.
+///
+/// This is the legacy `HashMap`-backed audit, retained verbatim as the
+/// differential oracle for the arena/census engine (and for callers that
+/// want the *full* distinct source/destination lists per channel, which the
+/// saturating engine census does not keep).
 ///
 /// ```
 /// use ftclos_core::verify::{is_nonblocking_deterministic, LinkAudit};
@@ -161,8 +184,16 @@ impl LinkAudit {
 }
 
 /// Convenience: is `router` nonblocking per Lemma 1? (Exact, complete.)
+///
+/// Engine-backed: routes every pair once into a path arena and decides the
+/// predicate from the dense census — no hashing, no re-routing.
 pub fn is_nonblocking_deterministic<R: SinglePathRouter + ?Sized>(router: &R) -> bool {
-    LinkAudit::build(router).lemma1_check(router).is_ok()
+    match ContentionEngine::new(router) {
+        Ok(engine) => engine.is_nonblocking(),
+        // A router whose `ports()` disagrees with its routable universe
+        // cannot serve all pairs — not nonblocking under any reading.
+        Err(_) => false,
+    }
 }
 
 /// The exact checker's verdict packaged for differential tests against
@@ -189,7 +220,30 @@ impl NonblockingVerdict {
 }
 
 /// Run the complete Lemma 1 decision procedure and package the outcome.
+///
+/// Engine-backed (see [`is_nonblocking_deterministic`]); the packaged
+/// witness, when present, is the lowest-id violating channel's two-pair
+/// permutation. [`nonblocking_verdict_legacy`] keeps the original
+/// `HashMap` audit for differential pinning.
 pub fn nonblocking_verdict<R: SinglePathRouter + ?Sized>(router: &R) -> NonblockingVerdict {
+    let violation = match ContentionEngine::new(router) {
+        Ok(engine) => engine.lemma1_violation(),
+        Err(_) => {
+            return NonblockingVerdict {
+                nonblocking: false,
+                violation: None,
+            }
+        }
+    };
+    NonblockingVerdict {
+        nonblocking: violation.is_none(),
+        violation,
+    }
+}
+
+/// The original `HashMap`-audit decision procedure, kept as the
+/// differential oracle for [`nonblocking_verdict`].
+pub fn nonblocking_verdict_legacy<R: SinglePathRouter + ?Sized>(router: &R) -> NonblockingVerdict {
     match LinkAudit::build(router).lemma1_check(router) {
         Ok(()) => NonblockingVerdict {
             nonblocking: true,
@@ -316,6 +370,25 @@ mod tests {
         let yuan = YuanDeterministic::new(&roomy).unwrap();
         let v = nonblocking_verdict(&yuan);
         assert!(v.nonblocking && v.witness_pairs().is_none());
+    }
+
+    #[test]
+    fn engine_and_legacy_verdicts_agree() {
+        for (n, m, r) in [(2usize, 4usize, 5usize), (2, 2, 5), (2, 3, 4), (3, 9, 7)] {
+            let ft = Ftree::new(n, m, r).unwrap();
+            let router = DModK::new(&ft);
+            let fast = nonblocking_verdict(&router);
+            let slow = nonblocking_verdict_legacy(&router);
+            assert_eq!(fast.nonblocking, slow.nonblocking, "n={n} m={m} r={r}");
+            // Both witnesses, when present, are live blocking permutations.
+            for v in [&fast, &slow] {
+                if let Some([a, b]) = v.witness_pairs() {
+                    let perm = Permutation::from_pairs((n * r) as u32, [a, b]).unwrap();
+                    let routed = route_all(&router, &perm).unwrap();
+                    assert!(routed.max_channel_load() >= 2);
+                }
+            }
+        }
     }
 
     #[test]

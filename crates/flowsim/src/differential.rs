@@ -20,7 +20,7 @@
 use crate::flows::{FlowError, FlowSet};
 use crate::waterfill::waterfill_unit;
 use ftclos_core::{nonblocking_verdict, pattern_contention_free, NonblockingVerdict};
-use ftclos_routing::{route_all, ObliviousMultipath, SinglePathRouter};
+use ftclos_routing::{route_all, ObliviousMultipath, PathArena, SinglePathRouter};
 use ftclos_traffic::{Permutation, SdPair};
 use rayon::prelude::*;
 
@@ -92,12 +92,26 @@ impl FabricAgreement {
 ///
 /// Cost is `O(p^4)` patterns — this is a verification tool for small
 /// fabrics, not a production checker; the exact verdict inside is `O(p^2)`.
-/// Pattern enumeration fans out over rayon by first source.
+/// Pattern enumeration fans out over rayon by first source. All paths are
+/// routed **once** into a [`PathArena`]; the sweep's flow expansion then
+/// reads cached path slices instead of re-routing each pair `O(p^2)` times.
 pub fn check_fabric<R: SinglePathRouter + Sync + ?Sized>(
     router: &R,
     num_channels: usize,
 ) -> FabricAgreement {
     let p = router.ports();
+    // Arena build can only fail for routers that error on their own
+    // universe; such routers cannot serve any two-pair pattern either.
+    let arena = match PathArena::build(router) {
+        Ok(a) => a,
+        Err(_) => {
+            return FabricAgreement {
+                fluid_nonblocking: false,
+                exact: nonblocking_verdict(router),
+                fluid_witness: None,
+            }
+        }
+    };
     let witnesses: Vec<[SdPair; 2]> = (0..p)
         .into_par_iter()
         .filter_map(|s1| {
@@ -111,7 +125,7 @@ pub fn check_fabric<R: SinglePathRouter + Sync + ?Sized>(
                         let Ok(perm) = Permutation::from_pairs(p, pairs) else {
                             continue;
                         };
-                        match check_pattern(router, &perm, num_channels) {
+                        match check_pattern(&arena, &perm, num_channels) {
                             Ok(a) if !a.fluid_unit_rate => return Some(pairs),
                             Ok(_) => {}
                             // A routing failure (e.g. faulted path) counts

@@ -29,8 +29,13 @@
 //! * [`LinkLoadView`] — the uniform per-link flow-set interface every router
 //!   (including the fault-masked variants) exposes to the fluid flow-rate
 //!   simulator in `ftclos-flowsim`.
+//! * [`PathArena`] — every SD path of a single-path router precomputed once
+//!   into CSR storage (pair → path and channel → pair incidence), so the
+//!   exact analyzers in `ftclos-core` and the fluid flow expansion index
+//!   instead of re-routing.
 
 pub mod adaptive;
+pub mod arena;
 pub mod assignment;
 pub mod churn;
 pub mod dmodk;
@@ -48,6 +53,7 @@ pub mod xgft_routing;
 pub mod yuan;
 
 pub use adaptive::{AdaptivePlan, NonblockingAdaptive, PlanStrategy};
+pub use arena::{ArenaLoadView, PathArena};
 pub use assignment::RouteAssignment;
 pub use churn::{EpochPlan, EpochPlanner, LinkAdmission};
 pub use dmodk::{DModK, SModK};

@@ -65,7 +65,9 @@ fn audit_catches_a_single_misrouted_pair() {
     );
     // And the complete two-pair search produces a concrete witness that
     // really contends.
-    let witness = find_blocking_two_pair(&bad).expect("witness exists");
+    let witness = find_blocking_two_pair(&bad)
+        .into_witness()
+        .expect("witness exists");
     let a = route_all(&bad, &witness).unwrap();
     assert!(a.max_channel_load() >= 2);
 }

@@ -98,7 +98,7 @@ fn deterministic_routers_below_n2_always_block() {
         for m in 1..n * n {
             let ft = Ftree::new(n, m, r).unwrap();
             assert!(
-                find_blocking_two_pair(&DModK::new(&ft)).is_some(),
+                find_blocking_two_pair(&DModK::new(&ft)).found_blocking(),
                 "n={n} m={m} should block"
             );
         }

@@ -37,6 +37,19 @@ impl BenchmarkGroup {
         self.throughput = Some(throughput);
     }
 
+    /// Set the statistical sample count. The shim's fixed iteration count
+    /// already bounds runtime, so this only records intent — real criterion
+    /// uses it to shorten expensive benchmarks.
+    pub fn sample_size(&mut self, _samples: usize) {}
+
+    /// Run one benchmark identified by a plain name or a [`BenchmarkId`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id.into(), &(), |b, ()| f(b));
+    }
+
     /// Run one benchmark with a borrowed input.
     pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
     where
@@ -81,6 +94,20 @@ impl BenchmarkId {
         Self {
             label: format!("{}/{}", name.into(), parameter),
         }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
     }
 }
 
