@@ -12,6 +12,10 @@
 //!   `lemma1_violation` vs `LinkAudit::build` + `lemma1_check`;
 //! * per-pattern contention checks per second: `ContentionScratch` (dense,
 //!   epoch-stamped) vs `verify::find_contention` (fresh `HashMap`);
+//! * recording overhead (E21): the engine sweep and audit loop repeated
+//!   with a live [`ftclos_obs::Registry`] threaded through the `*_with`
+//!   entry points — must stay within 10% of the plain (no-op recorder)
+//!   numbers, or CI fails;
 //! * peak arena bytes;
 //! * verdict-agreement smoke on one blocking and one nonblocking fabric.
 //!
@@ -23,11 +27,58 @@ use ftclos_bench::{banner, result_line, verdict, SEED};
 use ftclos_core::search::{find_blocking_two_pair, find_blocking_two_pair_legacy};
 use ftclos_core::verify::{find_contention, LinkAudit};
 use ftclos_core::{ContentionEngine, ContentionScratch};
-use ftclos_routing::{route_all, DModK, PathArena, YuanDeterministic};
-use ftclos_topo::Ftree;
+use ftclos_obs::Registry;
+use ftclos_routing::{route_all, DModK, PathArena, RoutingError, YuanDeterministic};
+use ftclos_topo::{Ftree, TopoError};
 use ftclos_traffic::patterns;
 use rand::SeedableRng;
+use std::fmt;
+use std::process::ExitCode;
 use std::time::Instant;
+
+/// Everything that can stop the benchmark before a verdict: these are
+/// setup failures (bad fabric parameters, unroutable reference pattern,
+/// result-file I/O), not performance regressions, so they carry their own
+/// type instead of panicking mid-measurement.
+#[derive(Debug)]
+enum BenchError {
+    /// Building a reference fabric failed.
+    Topo(TopoError),
+    /// Routing on a reference fabric failed.
+    Routing(RoutingError),
+    /// Writing `BENCH_core.json` failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Topo(e) => write!(f, "fabric construction failed: {e}"),
+            BenchError::Routing(e) => write!(f, "reference routing failed: {e}"),
+            BenchError::Io(e) => write!(f, "cannot write BENCH_core.json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<TopoError> for BenchError {
+    fn from(e: TopoError) -> Self {
+        BenchError::Topo(e)
+    }
+}
+
+impl From<RoutingError> for BenchError {
+    fn from(e: RoutingError) -> Self {
+        BenchError::Routing(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
 
 /// Wall-clock of one call, in seconds.
 fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
@@ -57,7 +108,18 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("coreperf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<bool, BenchError> {
     let mut all_ok = true;
 
     banner(
@@ -65,8 +127,8 @@ fn main() {
         "arena-backed contention engine vs legacy HashMap sweeps",
     );
     let (n, m, r) = (4usize, 16usize, 9usize);
-    let ft = Ftree::new(n, m, r).unwrap();
-    let yuan = YuanDeterministic::new(&ft).unwrap();
+    let ft = Ftree::new(n, m, r)?;
+    let yuan = YuanDeterministic::new(&ft)?;
     result_line("fabric", format!("ftree({n}+{m}, {r})"));
     result_line("ports", n * r);
 
@@ -104,7 +166,7 @@ fn main() {
             assert!(audit.lemma1_check(&yuan).is_ok());
         }
     });
-    let mut engine = ContentionEngine::new(&yuan).unwrap();
+    let mut engine = ContentionEngine::new(&yuan)?;
     let (engine_audit_s, _) = time_best(3, || {
         for _ in 0..audit_reps {
             engine.recount();
@@ -122,15 +184,53 @@ fn main() {
         format!("{engine_audits_per_sec:.0}"),
     );
 
+    // E21 — recording overhead. The plain entry points above already route
+    // through the no-op recorder (monomorphized away); here the same work
+    // runs with a live Registry accumulating spans and counters. The E20
+    // speedup claim must not quietly erode when users pass `--trace`.
+    let reg = Registry::new();
+    let (recorded_build_s, recorded_clean) = time_best(5, || {
+        ContentionEngine::new_with(&yuan, &reg).map(|e| e.lemma1_violation_with(&reg).is_none())
+    });
+    all_ok &= verdict(
+        recorded_clean?,
+        "recorded engine: same nonblocking verdict under a live recorder",
+    );
+    let (plain_build_s, plain_clean) = time_best(5, || {
+        ContentionEngine::new(&yuan).map(|e| e.lemma1_violation().is_none())
+    });
+    let _ = plain_clean?;
+    let overhead_pct = 100.0 * (recorded_build_s / plain_build_s - 1.0);
+    result_line(
+        "plain_build_audit_ms",
+        format!("{:.3}", plain_build_s * 1e3),
+    );
+    result_line(
+        "recorded_build_audit_ms",
+        format!("{:.3}", recorded_build_s * 1e3),
+    );
+    result_line("record_overhead_pct", format!("{overhead_pct:.1}"));
+    all_ok &= verdict(
+        overhead_pct < 10.0,
+        "live recording keeps build+audit within 10% of plain",
+    );
+    let snap = reg.snapshot();
+    all_ok &= verdict(
+        snap.counter("engine.channels_scanned").unwrap_or(0) > 0
+            && snap.spans.iter().any(|s| s.path == "arena.build"),
+        "recorded runs populated spans and counters",
+    );
+
     // Per-pattern contention checks per second, over pre-routed random
     // permutations (the hot shape in sweeps and fault sims).
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED);
-    let assignments: Vec<_> = (0..200)
-        .map(|_| {
-            let perm = patterns::random_full((n * r) as u32, &mut rng);
-            route_all(&yuan, &perm).unwrap()
-        })
+    let perms: Vec<_> = (0..200)
+        .map(|_| patterns::random_full((n * r) as u32, &mut rng))
         .collect();
+    let mut assignments = Vec::with_capacity(perms.len());
+    for perm in &perms {
+        assignments.push(route_all(&yuan, perm)?);
+    }
     let (legacy_pat_s, _) = time_best(3, || {
         for a in &assignments {
             assert!(find_contention(a).is_none());
@@ -153,12 +253,12 @@ fn main() {
         format!("{engine_patterns_per_sec:.0}"),
     );
 
-    let arena_bytes = PathArena::build(&yuan).unwrap().bytes();
+    let arena_bytes = PathArena::build(&yuan)?.bytes();
     result_line("arena_bytes", arena_bytes);
 
     // Agreement smoke: one blocking and one nonblocking fabric, engine and
     // legacy must concur (the full differential lives in the proptests).
-    let small = Ftree::new(2, 2, 5).unwrap();
+    let small = Ftree::new(2, 2, 5)?;
     let dmodk = DModK::new(&small);
     let blocking_agree = find_blocking_two_pair(&dmodk).found_blocking()
         && find_blocking_two_pair_legacy(&dmodk).found_blocking();
@@ -166,8 +266,8 @@ fn main() {
         blocking_agree,
         "smoke: both sweeps find blocking on ftree(2+2, 5) d-mod-k",
     );
-    let clean = Ftree::new(2, 4, 5).unwrap();
-    let clean_yuan = YuanDeterministic::new(&clean).unwrap();
+    let clean = Ftree::new(2, 4, 5)?;
+    let clean_yuan = YuanDeterministic::new(&clean)?;
     let clean_agree = find_blocking_two_pair(&clean_yuan).is_nonblocking()
         && find_blocking_two_pair_legacy(&clean_yuan).is_nonblocking();
     all_ok &= verdict(
@@ -182,7 +282,9 @@ fn main() {
          \"engine_two_pair_sweep_ms\": {ets},\n  \"speedup\": {sp},\n  \
          \"legacy_audits_per_sec\": {la},\n  \"engine_audits_per_sec\": {ea},\n  \
          \"legacy_patterns_per_sec\": {lp},\n  \"engine_patterns_per_sec\": {ep},\n  \
-         \"arena_bytes\": {ab},\n  \"smoke_blocking_agree\": {sb},\n  \
+         \"plain_build_audit_ms\": {pb},\n  \"recorded_build_audit_ms\": {rb},\n  \
+         \"record_overhead_pct\": {op},\n  \"arena_bytes\": {ab},\n  \
+         \"smoke_blocking_agree\": {sb},\n  \
          \"smoke_nonblocking_agree\": {sn},\n  \"pass\": {pass}\n}}\n",
         ports = n * r,
         lts = json_f64(legacy_sweep_s * 1e3),
@@ -192,15 +294,16 @@ fn main() {
         ea = json_f64(engine_audits_per_sec),
         lp = json_f64(legacy_patterns_per_sec),
         ep = json_f64(engine_patterns_per_sec),
+        pb = json_f64(plain_build_s * 1e3),
+        rb = json_f64(recorded_build_s * 1e3),
+        op = json_f64(overhead_pct),
         ab = arena_bytes,
         sb = blocking_agree,
         sn = clean_agree,
         pass = all_ok,
     );
-    std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
+    std::fs::write("BENCH_core.json", &json)?;
     result_line("written", "BENCH_core.json");
 
-    if !all_ok {
-        std::process::exit(1);
-    }
+    Ok(all_ok)
 }

@@ -3,12 +3,13 @@
 
 use super::common::{build_ftree, route_named, ROUTERS};
 use crate::opts::{CliError, Opts};
+use ftclos_obs::{Recorder as _, Registry};
 use ftclos_traffic::patterns;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
 /// Run the command.
-pub fn run(opts: &Opts) -> Result<String, CliError> {
+pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
     let ft = build_ftree(opts)?;
     let router = opts.flag("router").unwrap_or("dmodk");
     if !ROUTERS.contains(&router) {
@@ -22,6 +23,7 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let mut blocked = 0usize;
     let mut max_load_seen = 0u32;
+    let sample_span = rec.span("blocking.sample");
     for _ in 0..samples {
         let perm = patterns::random_full(ports, &mut rng);
         match route_named(&ft, router, &perm) {
@@ -35,6 +37,9 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
             Err(_) => blocked += 1, // fabric too small for the scheme
         }
     }
+    drop(sample_span);
+    rec.add("blocking.permutations", samples as u64);
+    rec.add("blocking.blocked", blocked as u64);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -61,19 +66,23 @@ mod tests {
 
     #[test]
     fn dmodk_blocks_sometimes() {
-        let out = run(&argv("2 2 5 --samples 60")).unwrap();
+        let reg = Registry::new();
+        let out = run(&argv("2 2 5 --samples 60"), &reg).unwrap();
         assert!(out.contains("blocking fraction"));
         assert!(!out.contains("= 0.000"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("blocking.permutations"), Some(60));
+        assert!(snap.counter("blocking.blocked").unwrap_or(0) > 0);
     }
 
     #[test]
     fn yuan_never_blocks() {
-        let out = run(&argv("2 4 5 --router yuan --samples 60")).unwrap();
+        let out = run(&argv("2 4 5 --router yuan --samples 60"), &Registry::new()).unwrap();
         assert!(out.contains("= 0.000"));
     }
 
     #[test]
     fn unknown_router() {
-        assert!(run(&argv("2 4 5 --router warp")).is_err());
+        assert!(run(&argv("2 4 5 --router warp"), &Registry::new()).is_err());
     }
 }

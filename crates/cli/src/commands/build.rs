@@ -2,12 +2,13 @@
 
 use super::common::build_ftree;
 use crate::opts::{CliError, Opts};
+use ftclos_obs::Registry;
 use ftclos_topo::dot::{to_dot, DotOptions};
 use ftclos_topo::{diameter, StructureReport};
 use std::fmt::Write as _;
 
 /// Run the command.
-pub fn run(opts: &Opts) -> Result<String, CliError> {
+pub fn run(opts: &Opts, _rec: &Registry) -> Result<String, CliError> {
     let ft = build_ftree(opts)?;
     let rep = StructureReport::new(ft.topology());
     let mut out = String::new();
@@ -57,10 +58,10 @@ mod tests {
 
     #[test]
     fn describes_fabric() {
-        let out = run(&argv("2 4 5")).unwrap();
+        let out = run(&argv("2 4 5"), &Registry::new()).unwrap();
         assert!(out.contains("10 leaves"));
         assert!(out.contains("SATISFIED"));
-        let out = run(&argv("2 3 5")).unwrap();
+        let out = run(&argv("2 3 5"), &Registry::new()).unwrap();
         assert!(out.contains("NOT satisfied"));
     }
 
@@ -68,7 +69,7 @@ mod tests {
     fn writes_dot() {
         let dir = std::env::temp_dir().join("ftclos_cli_test.dot");
         let spec = format!("2 2 3 --dot {}", dir.display());
-        let out = run(&argv(&spec)).unwrap();
+        let out = run(&argv(&spec), &Registry::new()).unwrap();
         assert!(out.contains("DOT written"));
         let content = std::fs::read_to_string(&dir).unwrap();
         assert!(content.starts_with("graph"));
@@ -77,6 +78,6 @@ mod tests {
 
     #[test]
     fn rejects_zero() {
-        assert!(run(&argv("0 1 1")).is_err());
+        assert!(run(&argv("0 1 1"), &Registry::new()).is_err());
     }
 }

@@ -7,6 +7,7 @@
 use super::common::build_ftree;
 use crate::opts::{CliError, Opts};
 use ftclos_core::churn::{availability, min_m_for_availability, ChurnEvent};
+use ftclos_obs::{Recorder as _, Registry};
 use ftclos_routing::{ObliviousMultipath, SpreadPolicy};
 use ftclos_sim::{
     Arbiter, ChurnConfig, ChurnSchedule, Policy, ReplanMode, SimConfig, Simulator, Workload,
@@ -43,7 +44,7 @@ fn to_core_events(schedule: &ChurnSchedule) -> Vec<ChurnEvent> {
 }
 
 /// Run the command.
-pub fn run(opts: &Opts) -> Result<String, CliError> {
+pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
     let ft = build_ftree(opts)?;
     let links: usize = opts.flag_or("links", 1)?;
     let mtbf: u64 = opts.flag_or("mtbf", 400)?;
@@ -73,9 +74,11 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
     );
 
     // Flow-level availability: replay the trace through the exact checker.
+    let avail_span = rec.span("churn.availability");
     let events = to_core_events(&schedule);
     let report = availability(&ft, &events, cycles, samples, seed)
         .map_err(|e| CliError::Failed(e.to_string()))?;
+    drop(avail_span);
     let _ = writeln!(
         out,
         "availability: {:.4} of time, {:.4} of epochs nonblocking ({} epoch(s))",
@@ -111,11 +114,12 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
     };
     let (stats, churn_report) =
         Simulator::new(ft.topology(), cfg, Policy::from_multipath(&mp, true))
-            .try_run_churn(
+            .try_run_churn_recorded(
                 &Workload::permutation(&perm, rate),
                 seed ^ 0xC0FFEE,
                 &schedule,
                 &churn_cfg,
+                rec,
             )
             .map_err(|e| CliError::Failed(e.to_string()))?;
     let _ = writeln!(
@@ -143,6 +147,7 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
     // Optional: minimum m meeting an availability target under this flap
     // model (trace regenerated per fabric — channel ids depend on m).
     if let Some(raw) = opts.flag("target") {
+        let _s = rec.span("churn.min_m");
         let target: f64 = raw
             .parse()
             .map_err(|_| CliError::Usage(format!("--target got invalid value `{raw}`")))?;
@@ -201,20 +206,28 @@ mod tests {
 
     #[test]
     fn end_to_end_churn_run() {
-        let out = run(&argv(
-            "2 4 3 --links 1 --mtbf 200 --mttr 60 --cycles 600 --samples 10 --seed 3",
-        ))
+        let reg = Registry::new();
+        let out = run(
+            &argv("2 4 3 --links 1 --mtbf 200 --mttr 60 --cycles 600 --samples 10 --seed 3"),
+            &reg,
+        )
         .unwrap();
         assert!(out.contains("availability:"), "{out}");
         assert!(out.contains("simulation"), "{out}");
+        let snap = reg.snapshot();
+        assert!(snap.spans.iter().any(|s| s.path == "churn.availability"));
+        assert!(snap.counter("sim.injected").unwrap_or(0) > 0);
     }
 
     #[test]
     fn min_m_target_sweep() {
-        let out = run(&argv(
-            "2 4 3 --links 1 --mtbf 200 --mttr 60 --cycles 400 --samples 10 \
-             --seed 3 --target 0.5 --max-m 6",
-        ))
+        let out = run(
+            &argv(
+                "2 4 3 --links 1 --mtbf 200 --mttr 60 --cycles 400 --samples 10 \
+                 --seed 3 --target 0.5 --max-m 6",
+            ),
+            &Registry::new(),
+        )
         .unwrap();
         assert!(out.contains("min m for availability"), "{out}");
     }
@@ -222,15 +235,15 @@ mod tests {
     #[test]
     fn bad_arguments_are_usage_errors() {
         assert!(matches!(
-            run(&argv("2 4 3 --rate 1.5")),
+            run(&argv("2 4 3 --rate 1.5"), &Registry::new()),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run(&argv("2 4 3 --mode wild")),
+            run(&argv("2 4 3 --mode wild"), &Registry::new()),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run(&argv("2 4 3 --target zero")),
+            run(&argv("2 4 3 --target zero"), &Registry::new()),
             Err(CliError::Usage(_))
         ));
     }

@@ -3,9 +3,10 @@
 use crate::opts::{CliError, Opts};
 use ftclos_analysis::TextTable;
 use ftclos_core::design;
+use ftclos_obs::Registry;
 
 /// Run the command.
-pub fn run(opts: &Opts) -> Result<String, CliError> {
+pub fn run(opts: &Opts, _rec: &Registry) -> Result<String, CliError> {
     let radix = opts.pos_usize(0, "radix")?;
     let mut table = TextTable::new(["design", "ports", "switches", "sw/port", "guarantee"]);
     if let Some(d) = design::nonblocking_two_level(radix) {
@@ -53,7 +54,7 @@ mod tests {
     #[test]
     fn designs_for_20_port() {
         let opts = Opts::parse(&["20".to_string()]).unwrap();
-        let out = run(&opts).unwrap();
+        let out = run(&opts, &Registry::new()).unwrap();
         assert!(out.contains("80"));
         assert!(out.contains("200"));
         assert!(out.contains("3-level"));
@@ -62,6 +63,6 @@ mod tests {
     #[test]
     fn radix_too_small() {
         let opts = Opts::parse(&["1".to_string()]).unwrap();
-        assert!(run(&opts).is_err());
+        assert!(run(&opts, &Registry::new()).is_err());
     }
 }

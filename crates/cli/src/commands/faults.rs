@@ -19,12 +19,13 @@ use ftclos_core::{
     adaptive_degraded_verdict, deterministic_degradation, max_survivable_top_failures,
     DegradedVerdict,
 };
+use ftclos_obs::{Recorder as _, Registry};
 use ftclos_routing::{ObliviousMultipath, SpreadPolicy, YuanDeterministic};
 use ftclos_topo::{FaultSet, FaultyView};
 use std::fmt::Write as _;
 
 /// Run the command.
-pub fn run(opts: &Opts) -> Result<String, CliError> {
+pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
     let ft = build_ftree(opts)?;
     let fail_tops: usize = opts.flag_or("fail-tops", 1)?;
     let fail_links: usize = opts.flag_or("fail-links", 0)?;
@@ -59,8 +60,11 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         view.num_dead_channels()
     );
 
+    rec.gauge("faults.dead_channels", view.num_dead_channels() as u64);
+
     // Theorem 3 deterministic: pinned top assignment, so it cannot route
     // around anything — count what it loses.
+    let det_span = rec.span("faults.deterministic");
     match YuanDeterministic::new(&ft) {
         Ok(router) => {
             let deg = deterministic_degradation(&router, &view);
@@ -80,8 +84,10 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
             let _ = writeln!(out, "yuan deterministic: unavailable ({e})");
         }
     }
+    drop(det_span);
 
     // Masked oblivious multipath on one permutation.
+    let mp_span = rec.span("faults.multipath");
     let ports = ft.num_leaves() as u32;
     let perm = make_pattern("random", ports, seed)?;
     let mp = ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin);
@@ -97,8 +103,10 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
             let _ = writeln!(out, "masked multipath:   {e}");
         }
     }
+    drop(mp_span);
 
     // Masked adaptive verdict under the injected faults.
+    let ad_span = rec.span("faults.adaptive");
     match adaptive_degraded_verdict(&ft, &view, samples, seed) {
         Ok(v) => {
             let _ = writeln!(out, "masked adaptive:    {}", describe_verdict(&v));
@@ -107,10 +115,12 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
             let _ = writeln!(out, "masked adaptive:    unavailable ({e})");
         }
     }
+    drop(ad_span);
 
     // Survivability margin over top-switch failures (independent of the
     // injected fault set: sweeps its own subsets).
     if max_k > 0 {
+        let _s = rec.span("faults.survivability");
         match max_survivable_top_failures(&ft, max_k, samples, 64, seed) {
             Ok(report) => {
                 let _ = writeln!(out, "survivability:      max k = {}", report.max_k);
@@ -173,23 +183,41 @@ mod tests {
     fn spare_fabric_survives_single_top_failure() {
         // ftree(3+12, 9) has a spare partition: config 1 absorbs any single
         // dead top, and the survivability sweep proves max k >= 1.
-        let out = run(&argv("3 12 9 --fail-tops 1 --samples 10 --max-k 1")).unwrap();
+        let reg = Registry::new();
+        let out = run(&argv("3 12 9 --fail-tops 1 --samples 10 --max-k 1"), &reg).unwrap();
         assert!(out.contains("masked adaptive:    CONTENTION-FREE"), "{out}");
         assert!(out.contains("max k = 1"), "{out}");
         // Yuan's pinned assignment loses r(r-1) = 72 pairs to the dead top.
         assert!(out.contains("pairs routable"), "{out}");
         assert!(out.contains("satisfy Lemma 1"), "{out}");
+        // Every analysis phase shows up as a span.
+        let snap = reg.snapshot();
+        for phase in [
+            "faults.deterministic",
+            "faults.multipath",
+            "faults.adaptive",
+            "faults.survivability",
+        ] {
+            assert!(
+                snap.spans.iter().any(|s| s.path == phase),
+                "missing {phase}"
+            );
+        }
     }
 
     #[test]
     fn yuan_reports_lost_pairs() {
-        let out = run(&argv("2 4 5 --fail-tops 1 --samples 5 --max-k 0")).unwrap();
+        let out = run(
+            &argv("2 4 5 --fail-tops 1 --samples 5 --max-k 0"),
+            &Registry::new(),
+        )
+        .unwrap();
         // r(r-1) = 20 of the 90 cross pairs ride top 0.
         assert!(out.contains("70/90 pairs routable"), "{out}");
     }
 
     #[test]
     fn too_many_tops_rejected() {
-        assert!(run(&argv("2 4 5 --fail-tops 99")).is_err());
+        assert!(run(&argv("2 4 5 --fail-tops 99"), &Registry::new()).is_err());
     }
 }

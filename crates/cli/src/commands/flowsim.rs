@@ -10,7 +10,8 @@
 
 use super::common::{build_ftree, make_pattern};
 use crate::opts::{CliError, Opts};
-use ftclos_flowsim::{standard_suite, sweep_patterns, FluidReport};
+use ftclos_flowsim::{standard_suite, sweep_patterns_with, FluidReport};
+use ftclos_obs::Registry;
 use ftclos_routing::{
     DModK, FaultAware, LinkLoadView, MaskedAdaptive, MaskedMultipath, NonblockingAdaptive,
     ObliviousMultipath, PlanStrategy, SModK, SpreadPolicy, YuanDeterministic,
@@ -32,7 +33,7 @@ pub const FLOWSIM_ROUTERS: &[&str] = &[
 ];
 
 /// Run the command.
-pub fn run(opts: &Opts) -> Result<String, CliError> {
+pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
     let ft = build_ftree(opts)?;
     let router: String = opts.flag_or("router", "yuan".to_string())?;
     let seed: u64 = opts.flag_or("seed", 0)?;
@@ -65,20 +66,27 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
 
     let fail = |e: ftclos_routing::RoutingError| CliError::Failed(e.to_string());
     let reports = match (router.as_str(), faulted) {
-        ("yuan", false) => solve(&YuanDeterministic::new(&ft).map_err(fail)?, &suite, &caps),
+        ("yuan", false) => solve(
+            &YuanDeterministic::new(&ft).map_err(fail)?,
+            &suite,
+            &caps,
+            rec,
+        ),
         ("yuan", true) => solve(
             &FaultAware::new(YuanDeterministic::new(&ft).map_err(fail)?, &view),
             &suite,
             &caps,
+            rec,
         ),
-        ("dmodk", false) => solve(&DModK::new(&ft), &suite, &caps),
-        ("dmodk", true) => solve(&FaultAware::new(DModK::new(&ft), &view), &suite, &caps),
-        ("smodk", false) => solve(&SModK::new(&ft), &suite, &caps),
-        ("smodk", true) => solve(&FaultAware::new(SModK::new(&ft), &view), &suite, &caps),
+        ("dmodk", false) => solve(&DModK::new(&ft), &suite, &caps, rec),
+        ("dmodk", true) => solve(&FaultAware::new(DModK::new(&ft), &view), &suite, &caps, rec),
+        ("smodk", false) => solve(&SModK::new(&ft), &suite, &caps, rec),
+        ("smodk", true) => solve(&FaultAware::new(SModK::new(&ft), &view), &suite, &caps, rec),
         ("multipath", false) => solve(
             &ObliviousMultipath::new(&ft, SpreadPolicy::RoundRobin),
             &suite,
             &caps,
+            rec,
         ),
         ("multipath", true) => solve(
             &MaskedMultipath::new(
@@ -87,10 +95,11 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
             ),
             &suite,
             &caps,
+            rec,
         ),
         ("adaptive", false) => {
             let ad = NonblockingAdaptive::new(&ft).map_err(fail)?;
-            solve(&ad, &suite, &caps)
+            solve(&ad, &suite, &caps, rec)
         }
         ("adaptive", true) => {
             let ad = NonblockingAdaptive::new(&ft).map_err(fail)?;
@@ -98,17 +107,20 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
                 &MaskedAdaptive::new(&ad, &view, PlanStrategy::GreedyLargestSubset),
                 &suite,
                 &caps,
+                rec,
             )
         }
         ("greedy", false) => solve(
             &ftclos_routing::GreedyLocalAdaptive::new(&ft),
             &suite,
             &caps,
+            rec,
         ),
         ("rearrangeable", false) => solve(
             &ftclos_routing::RearrangeableRouter::new(&ft).map_err(fail)?,
             &suite,
             &caps,
+            rec,
         ),
         ("greedy" | "rearrangeable", true) => {
             return Err(CliError::Usage(format!(
@@ -134,8 +146,9 @@ fn solve<V: LinkLoadView + Sync + ?Sized>(
     view: &V,
     suite: &[(String, Permutation)],
     caps: &ChannelCapacities,
+    rec: &Registry,
 ) -> Vec<(String, Result<FluidReport, String>)> {
-    sweep_patterns(view, suite, caps)
+    sweep_patterns_with(view, suite, caps, rec)
         .into_iter()
         .zip(suite)
         .map(|(res, (name, _))| (name.clone(), res.map_err(|e| e.to_string())))
@@ -251,21 +264,33 @@ mod tests {
 
     #[test]
     fn yuan_full_fabric_delivers_everything() {
-        let out = run(&argv("2 4 5")).unwrap();
+        let reg = Registry::new();
+        let out = run(&argv("2 4 5"), &reg).unwrap();
         assert!(out.contains("fluid-nonblocking"), "{out}");
         assert!(out.contains("[full rate]"), "{out}");
+        let snap = reg.snapshot();
+        assert!(snap.spans.iter().any(|s| s.path == "flowsim.sweep"));
+        assert!(snap.counter("flowsim.rounds").unwrap_or(0) > 0);
     }
 
     #[test]
     fn undersized_single_path_degrades_on_some_pattern() {
         // m = n: random permutations collide under d-mod-k.
-        let out = run(&argv("2 2 5 --router dmodk --pattern random --seed 3")).unwrap();
+        let out = run(
+            &argv("2 2 5 --router dmodk --pattern random --seed 3"),
+            &Registry::new(),
+        )
+        .unwrap();
         assert!(out.contains("fluid-blocking"), "{out}");
     }
 
     #[test]
     fn json_is_emitted_and_structured() {
-        let out = run(&argv("2 4 5 --pattern shift:3 --json true")).unwrap();
+        let out = run(
+            &argv("2 4 5 --pattern shift:3 --json true"),
+            &Registry::new(),
+        )
+        .unwrap();
         assert!(
             out.starts_with('[') && out.trim_end().ends_with(']'),
             "{out}"
@@ -276,7 +301,11 @@ mod tests {
 
     #[test]
     fn fault_masked_multipath_concentrates_load() {
-        let out = run(&argv("2 4 5 --router multipath --fail-tops 1")).unwrap();
+        let out = run(
+            &argv("2 4 5 --router multipath --fail-tops 1"),
+            &Registry::new(),
+        )
+        .unwrap();
         assert!(out.contains("fault-masked"), "{out}");
         assert!(out.contains("dead channel"), "{out}");
     }
@@ -285,26 +314,33 @@ mod tests {
     fn faulted_deterministic_reports_unroutable_patterns() {
         // Yuan's pinned top (0,0) dies; shifts that use it become
         // unroutable instead of crashing the command.
-        let out = run(&argv("2 4 5 --fail-tops 1 --pattern shift:2")).unwrap();
+        let out = run(
+            &argv("2 4 5 --fail-tops 1 --pattern shift:2"),
+            &Registry::new(),
+        )
+        .unwrap();
         assert!(out.contains("unroutable"), "{out}");
     }
 
     #[test]
     fn bad_inputs_are_usage_errors_not_panics() {
         assert!(matches!(
-            run(&argv("2 4 5 --router warp")),
+            run(&argv("2 4 5 --router warp"), &Registry::new()),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run(&argv("2 4 5 --fail-tops 99")),
+            run(&argv("2 4 5 --fail-tops 99"), &Registry::new()),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run(&argv("2 4 5 --router greedy --fail-tops 1")),
+            run(
+                &argv("2 4 5 --router greedy --fail-tops 1"),
+                &Registry::new()
+            ),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run(&argv("2 4 5 --pattern nope")),
+            run(&argv("2 4 5 --pattern nope"), &Registry::new()),
             Err(CliError::Usage(_))
         ));
     }

@@ -1,4 +1,7 @@
-//! Command implementations. Each command is `run(&Opts) -> Result<String>`.
+//! Command implementations. Each command is
+//! `run(&Opts, &Registry) -> Result<String>`: arguments plus the run's
+//! observability registry (span timers / counters for `--trace`) in, text
+//! out.
 
 pub mod blocking;
 pub mod build;
@@ -9,5 +12,6 @@ pub mod faults;
 pub mod flowsim;
 pub mod route;
 pub mod simulate;
+pub mod stats;
 pub mod table1;
 pub mod verify;

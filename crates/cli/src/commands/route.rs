@@ -4,16 +4,21 @@
 use super::common::{build_ftree, make_pattern, route_named};
 use crate::opts::{CliError, Opts};
 use ftclos_core::flow;
+use ftclos_obs::{Recorder as _, Registry};
 use std::fmt::Write as _;
 
 /// Run the command.
-pub fn run(opts: &Opts) -> Result<String, CliError> {
+pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
     let ft = build_ftree(opts)?;
     let router = opts.flag("router").unwrap_or("yuan");
     let seed: u64 = opts.flag_or("seed", 0)?;
     let spec = opts.flag("pattern").unwrap_or("random");
     let perm = make_pattern(spec, ft.num_leaves() as u32, seed)?;
-    let assignment = route_named(&ft, router, &perm)?;
+    let assignment = {
+        let _s = rec.span("route.assign");
+        route_named(&ft, router, &perm)?
+    };
+    rec.add("route.pairs", assignment.len() as u64);
     let stats = flow::load_stats(&assignment);
     let mut out = String::new();
     let _ = writeln!(
@@ -59,20 +64,30 @@ mod tests {
 
     #[test]
     fn yuan_contention_free() {
-        let out = run(&argv("2 4 5 --pattern shift:3")).unwrap();
+        let out = run(&argv("2 4 5 --pattern shift:3"), &Registry::new()).unwrap();
         assert!(out.contains("max channel load = 1"));
         assert!(out.contains("100.0%"));
     }
 
     #[test]
     fn dmodk_can_contend() {
-        let out = run(&argv("3 2 7 --router dmodk --pattern random --seed 5")).unwrap();
+        let reg = Registry::new();
+        let out = run(
+            &argv("3 2 7 --router dmodk --pattern random --seed 5"),
+            &reg,
+        )
+        .unwrap();
         assert!(out.contains("routed"));
+        assert!(reg.snapshot().counter("route.pairs").unwrap_or(0) > 0);
     }
 
     #[test]
     fn adaptive_reports_tops() {
-        let out = run(&argv("2 16 4 --router adaptive --pattern random")).unwrap();
+        let out = run(
+            &argv("2 16 4 --router adaptive --pattern random"),
+            &Registry::new(),
+        )
+        .unwrap();
         assert!(out.contains("top-level switches used"));
         assert!(out.contains("contention-free"));
     }

@@ -3,6 +3,7 @@
 
 use super::common::{build_ftree, make_pattern, route_named};
 use crate::opts::{CliError, Opts};
+use ftclos_obs::Registry;
 use ftclos_routing::{DModK, SModK, YuanDeterministic};
 use ftclos_sim::{Arbiter, Policy, SimConfig, Simulator, Workload};
 use std::fmt::Write as _;
@@ -26,7 +27,7 @@ fn parse_arbiter(spec: &str) -> Result<Arbiter, CliError> {
 }
 
 /// Run the command.
-pub fn run(opts: &Opts) -> Result<String, CliError> {
+pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
     let ft = build_ftree(opts)?;
     let router = opts.flag("router").unwrap_or("yuan");
     let seed: u64 = opts.flag_or("seed", 0)?;
@@ -54,7 +55,7 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         ..SimConfig::default()
     };
     let stats = Simulator::new(ft.topology(), cfg, policy)
-        .try_run(&Workload::permutation(&perm, rate), seed ^ 0xC0FFEE)
+        .try_run_recorded(&Workload::permutation(&perm, rate), seed ^ 0xC0FFEE, rec)
         .map_err(|e| CliError::Failed(e.to_string()))?;
 
     let mut out = String::new();
@@ -100,15 +101,24 @@ mod tests {
 
     #[test]
     fn nonblocking_line_rate() {
-        let out = run(&argv("2 4 5 --pattern shift:3 --rate 0.9 --cycles 800")).unwrap();
+        let reg = Registry::new();
+        let out = run(
+            &argv("2 4 5 --pattern shift:3 --rate 0.9 --cycles 800"),
+            &reg,
+        )
+        .unwrap();
         assert!(out.contains("accepted throughput"));
+        let snap = reg.snapshot();
+        assert!(snap.counter("sim.injected").unwrap_or(0) > 0);
+        assert!(snap.spans.iter().any(|s| s.path == "sim.run"), "{snap:?}");
     }
 
     #[test]
     fn adaptive_policy_via_assignment() {
-        let out = run(&argv(
-            "2 16 4 --router adaptive --pattern random --cycles 400",
-        ))
+        let out = run(
+            &argv("2 16 4 --router adaptive --pattern random --cycles 400"),
+            &Registry::new(),
+        )
         .unwrap();
         assert!(out.contains("accepted throughput"));
     }

@@ -1,0 +1,208 @@
+//! `ftclos stats <trace.json> [--folded]` — summarize a trace written by
+//! `--trace`: span tree with self-time percentages, counters, gauges, and
+//! the span-coverage figure E21 tracks. `--folded` re-emits the spans as
+//! folded stacks (`path self_ns` per line) for flamegraph tooling.
+
+use crate::opts::{CliError, Opts};
+use ftclos_obs::json::Json;
+use ftclos_obs::Registry;
+use std::fmt::Write as _;
+
+/// One span row reconstructed from the trace JSON.
+struct SpanRow {
+    path: String,
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+/// Run the command.
+pub fn run(opts: &Opts, _rec: &Registry) -> Result<String, CliError> {
+    let path = opts.pos_str(0, "trace.json")?;
+    let folded: bool = opts.flag_or("folded", false)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| CliError::Failed(format!("{path} is not valid trace JSON: {e}")))?;
+    let spans = parse_spans(&doc, path)?;
+    if folded {
+        return Ok(render_folded(&spans));
+    }
+    Ok(render_summary(&doc, &spans))
+}
+
+fn parse_spans(doc: &Json, path: &str) -> Result<Vec<SpanRow>, CliError> {
+    let missing = |field: &str| CliError::Failed(format!("{path}: missing `{field}` field"));
+    let arr = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| missing("spans"))?;
+    arr.iter()
+        .map(|s| {
+            Ok(SpanRow {
+                path: s
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("spans[].path"))?
+                    .to_string(),
+                count: s.get("count").and_then(Json::as_u64).unwrap_or(0),
+                total_ns: s.get("total_ns").and_then(Json::as_u64).unwrap_or(0),
+                self_ns: s.get("self_ns").and_then(Json::as_u64).unwrap_or(0),
+            })
+        })
+        .collect()
+}
+
+fn render_folded(spans: &[SpanRow]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        if s.self_ns > 0 {
+            let _ = writeln!(out, "{} {}", s.path, s.self_ns);
+        }
+    }
+    out
+}
+
+/// Nanoseconds as a human-scaled duration.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_summary(doc: &Json, spans: &[SpanRow]) -> String {
+    let mut out = String::new();
+    let meta = doc.get("meta");
+    let command = meta
+        .and_then(|m| m.get("command"))
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    let args = meta
+        .and_then(|m| m.get("args"))
+        .and_then(Json::as_str)
+        .unwrap_or("");
+    let wall_ns = doc.get("wall_ns").and_then(Json::as_u64).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "trace of `{command}{}{args}` (wall {})",
+        if args.is_empty() { "" } else { " " },
+        fmt_ns(wall_ns)
+    );
+    let _ = writeln!(out);
+
+    let width = spans.iter().map(|s| s.path.len()).max().unwrap_or(4).max(4);
+    let _ = writeln!(
+        out,
+        "{:<width$} {:>8} {:>10} {:>10} {:>7}",
+        "span", "count", "total", "self", "self%"
+    );
+    let denom = wall_ns.max(1) as f64;
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "{:<width$} {:>8} {:>10} {:>10} {:>6.1}%",
+            s.path,
+            s.count,
+            fmt_ns(s.total_ns),
+            fmt_ns(s.self_ns),
+            100.0 * s.self_ns as f64 / denom
+        );
+    }
+    // Roots are paths without a `;`; their inclusive time over the wall
+    // clock is the "spans cover X% of wall time" acceptance metric.
+    let root_ns: u64 = spans
+        .iter()
+        .filter(|s| !s.path.contains(';'))
+        .map(|s| s.total_ns)
+        .sum();
+    let _ = writeln!(
+        out,
+        "span coverage: {:.1}% of wall time inside root spans",
+        100.0 * root_ns as f64 / denom
+    );
+
+    for section in ["counters", "gauges"] {
+        if let Some(Json::Obj(entries)) = doc.get(section) {
+            if !entries.is_empty() {
+                let _ = writeln!(out, "{section}:");
+                for (k, v) in entries {
+                    let _ = writeln!(out, "  {k} = {}", v.write());
+                }
+            }
+        }
+    }
+    if let Some(epochs) = doc.get("epochs").and_then(Json::as_arr) {
+        if !epochs.is_empty() {
+            let _ = writeln!(out, "epochs: {}", epochs.len());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclos_obs::Recorder as _;
+
+    fn argv(s: &str) -> Opts {
+        Opts::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn write_sample_trace(name: &str) -> std::path::PathBuf {
+        let reg = Registry::new();
+        {
+            let _root = reg.span("cmd.demo");
+            let _child = reg.span("demo.work");
+            reg.add("demo.items", 7);
+        }
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, reg.snapshot().to_json("demo", "1 2 3")).unwrap();
+        path
+    }
+
+    #[test]
+    fn summarizes_a_trace() {
+        let path = write_sample_trace("ftclos_stats_test.json");
+        let out = run(&argv(&path.display().to_string()), &Registry::new()).unwrap();
+        assert!(out.contains("trace of `demo 1 2 3`"), "{out}");
+        assert!(out.contains("cmd.demo"), "{out}");
+        assert!(out.contains("cmd.demo;demo.work"), "{out}");
+        assert!(out.contains("span coverage"), "{out}");
+        assert!(out.contains("demo.items = 7"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn folded_output_is_two_columns() {
+        let path = write_sample_trace("ftclos_stats_folded_test.json");
+        let out = run(
+            &argv(&format!("{} --folded true", path.display())),
+            &Registry::new(),
+        )
+        .unwrap();
+        for line in out.lines() {
+            let mut parts = line.split_whitespace();
+            let stack = parts.next().unwrap();
+            let ns: u64 = parts.next().unwrap().parse().unwrap();
+            assert!(parts.next().is_none());
+            assert!(stack.starts_with("cmd.demo"));
+            assert!(ns > 0);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_inputs_fail_cleanly() {
+        assert!(run(&argv("/nonexistent/trace.json"), &Registry::new()).is_err());
+        let junk = std::env::temp_dir().join("ftclos_stats_junk.json");
+        std::fs::write(&junk, "not json").unwrap();
+        assert!(run(&argv(&junk.display().to_string()), &Registry::new()).is_err());
+        let _ = std::fs::remove_file(junk);
+    }
+}

@@ -3,9 +3,10 @@
 use crate::opts::{CliError, Opts};
 use ftclos_analysis::TextTable;
 use ftclos_core::design;
+use ftclos_obs::Registry;
 
 /// Run the command.
-pub fn run(_opts: &Opts) -> Result<String, CliError> {
+pub fn run(_opts: &Opts, _rec: &Registry) -> Result<String, CliError> {
     let rows = design::table_one(&[20, 30, 42]);
     let mut table = TextTable::new([
         "radix",
@@ -35,7 +36,7 @@ mod tests {
 
     #[test]
     fn all_rows_present() {
-        let out = run(&Opts::default()).unwrap();
+        let out = run(&Opts::default(), &Registry::new()).unwrap();
         for v in ["20", "30", "42", "80", "150", "252"] {
             assert!(out.contains(v), "missing {v} in {out}");
         }

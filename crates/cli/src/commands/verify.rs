@@ -2,22 +2,24 @@
 
 use super::common::build_ftree;
 use crate::opts::{CliError, Opts};
-use ftclos_core::verify::LinkAudit;
+use ftclos_core::ContentionEngine;
+use ftclos_obs::Registry;
 use ftclos_routing::{DModK, SModK, SinglePathRouter, YuanDeterministic};
 use std::fmt::Write as _;
 
-fn audit_router<R: SinglePathRouter>(router: &R) -> String {
-    let audit = LinkAudit::build(router);
+fn audit_router<R: SinglePathRouter>(router: &R, rec: &Registry) -> Result<String, CliError> {
+    let engine =
+        ContentionEngine::new_with(router, rec).map_err(|e| CliError::Failed(e.to_string()))?;
     let mut out = String::new();
-    match audit.lemma1_check(router) {
-        Ok(()) => {
+    match engine.lemma1_violation_with(rec) {
+        None => {
             let _ = writeln!(
                 out,
                 "NONBLOCKING: every link carries one source or one destination \
                  across all SD pairs (Lemma 1)"
             );
         }
-        Err(v) => {
+        Some(v) => {
             let _ = writeln!(
                 out,
                 "BLOCKING: link {} carries multiple sources AND destinations",
@@ -30,21 +32,21 @@ fn audit_router<R: SinglePathRouter>(router: &R) -> String {
             );
         }
     }
-    out
+    Ok(out)
 }
 
 /// Run the command.
-pub fn run(opts: &Opts) -> Result<String, CliError> {
+pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
     let ft = build_ftree(opts)?;
     let name = opts.flag("router").unwrap_or("yuan");
     let body = match name {
         "yuan" => {
             let router =
                 YuanDeterministic::new(&ft).map_err(|e| CliError::Failed(e.to_string()))?;
-            audit_router(&router)
+            audit_router(&router, rec)?
         }
-        "dmodk" => audit_router(&DModK::new(&ft)),
-        "smodk" => audit_router(&SModK::new(&ft)),
+        "dmodk" => audit_router(&DModK::new(&ft), rec)?,
+        "smodk" => audit_router(&SModK::new(&ft), rec)?,
         other => {
             return Err(CliError::Usage(format!(
                 "verify supports deterministic routers only (yuan|dmodk|smodk), got `{other}`"
@@ -69,23 +71,36 @@ mod tests {
 
     #[test]
     fn yuan_passes() {
-        assert!(run(&argv("2 4 5")).unwrap().contains("NONBLOCKING"));
+        let out = run(&argv("2 4 5"), &Registry::new()).unwrap();
+        assert!(out.contains("NONBLOCKING"));
     }
 
     #[test]
     fn dmodk_blocks_with_witness() {
-        let out = run(&argv("2 2 5 --router dmodk")).unwrap();
+        let out = run(&argv("2 2 5 --router dmodk"), &Registry::new()).unwrap();
         assert!(out.contains("BLOCKING"));
         assert!(out.contains("witness permutation"));
     }
 
     #[test]
     fn yuan_rejects_small_m() {
-        assert!(run(&argv("2 3 5")).is_err());
+        assert!(run(&argv("2 3 5"), &Registry::new()).is_err());
     }
 
     #[test]
     fn adaptive_not_supported_here() {
-        assert!(run(&argv("2 4 5 --router adaptive")).is_err());
+        assert!(run(&argv("2 4 5 --router adaptive"), &Registry::new()).is_err());
+    }
+
+    #[test]
+    fn audit_records_engine_spans() {
+        let reg = Registry::new();
+        run(&argv("2 4 5"), &reg).unwrap();
+        let snap = reg.snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"arena.build"), "{paths:?}");
+        assert!(paths.contains(&"engine.census"), "{paths:?}");
+        assert!(paths.contains(&"engine.scan"), "{paths:?}");
+        assert!(snap.counter("engine.channels_scanned").unwrap_or(0) > 0);
     }
 }

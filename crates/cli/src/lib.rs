@@ -16,6 +16,7 @@
 //!               [--samples N] [--seed S] [--target F --max-m M]
 //! ftclos flowsim <n> <m> <r> [--router R] [--pattern P] [--seed S] [--json]
 //!                [--fail-tops K] [--fail-links K]
+//! ftclos stats <trace.json> [--folded]       summarize a `--trace` output
 //! ```
 //!
 //! Routers: `yuan` (Theorem 3, needs `m >= n²`), `dmodk`, `smodk`,
@@ -24,11 +25,18 @@
 //! Patterns: `shift:<k>`, `random`, `transpose`, `bitrev`, `neighbor`,
 //! `tornado`, `identity`.
 //!
+//! Every command accepts `--trace FILE`: the run is instrumented through an
+//! [`ftclos_obs::Registry`] (span timers + counters threaded down into the
+//! engine/flowsim/sim hot paths) and the resulting trace JSON is written to
+//! FILE. `ftclos stats FILE` summarizes a trace back into text.
+//!
 //! Every command is a pure function from arguments to output text, so the
 //! whole surface is unit-testable.
 
 pub mod commands;
 pub mod opts;
+
+use ftclos_obs::{Recorder as _, Registry};
 
 pub use opts::{CliError, Opts};
 
@@ -39,17 +47,62 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     };
     let rest = normalize_bare_flags(rest);
     let opts = Opts::parse(&rest)?;
-    match cmd.as_str() {
-        "design" => commands::design::run(&opts),
-        "table1" => commands::table1::run(&opts),
-        "build" => commands::build::run(&opts),
-        "verify" => commands::verify::run(&opts),
-        "route" => commands::route::run(&opts),
-        "simulate" => commands::simulate::run(&opts),
-        "blocking" => commands::blocking::run(&opts),
-        "faults" => commands::faults::run(&opts),
-        "churn" => commands::churn::run(&opts),
-        "flowsim" => commands::flowsim::run(&opts),
+    let reg = Registry::new();
+    let out = dispatch(cmd, &opts, &reg)?;
+    if let Some(path) = opts.flag("trace") {
+        let trace = reg.snapshot().to_json(cmd, &rest.join(" "));
+        std::fs::write(path, trace)
+            .map_err(|e| CliError::Failed(format!("cannot write trace {path}: {e}")))?;
+    }
+    Ok(out)
+}
+
+/// Route one command to its implementation under a root span, so every
+/// trace has a single `cmd.<name>` root whose children are the library
+/// phases (`arena.build`, `engine.census`, `flowsim.waterfill`, ...).
+fn dispatch(cmd: &str, opts: &Opts, reg: &Registry) -> Result<String, CliError> {
+    match cmd {
+        "design" => {
+            let _s = reg.span("cmd.design");
+            commands::design::run(opts, reg)
+        }
+        "table1" => {
+            let _s = reg.span("cmd.table1");
+            commands::table1::run(opts, reg)
+        }
+        "build" => {
+            let _s = reg.span("cmd.build");
+            commands::build::run(opts, reg)
+        }
+        "verify" => {
+            let _s = reg.span("cmd.verify");
+            commands::verify::run(opts, reg)
+        }
+        "route" => {
+            let _s = reg.span("cmd.route");
+            commands::route::run(opts, reg)
+        }
+        "simulate" => {
+            let _s = reg.span("cmd.simulate");
+            commands::simulate::run(opts, reg)
+        }
+        "blocking" => {
+            let _s = reg.span("cmd.blocking");
+            commands::blocking::run(opts, reg)
+        }
+        "faults" => {
+            let _s = reg.span("cmd.faults");
+            commands::faults::run(opts, reg)
+        }
+        "churn" => {
+            let _s = reg.span("cmd.churn");
+            commands::churn::run(opts, reg)
+        }
+        "flowsim" => {
+            let _s = reg.span("cmd.flowsim");
+            commands::flowsim::run(opts, reg)
+        }
+        "stats" => commands::stats::run(opts, reg),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n{USAGE}"
@@ -60,7 +113,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 /// Flags that are boolean switches: `--json` alone means `--json true`, so
 /// the value-taking [`Opts::parse`] grammar stays unchanged for everything
 /// else.
-const BARE_FLAGS: &[&str] = &["--json"];
+const BARE_FLAGS: &[&str] = &["--json", "--folded"];
 
 fn normalize_bare_flags(args: &[String]) -> Vec<String> {
     let mut out = Vec::with_capacity(args.len() + 1);
@@ -97,6 +150,11 @@ USAGE:
                 [--samples N] [--seed S] [--target F --max-m M]
   ftclos flowsim <n> <m> <r> [--router R] [--pattern P] [--seed S] [--json]
                  [--fail-tops K] [--fail-links K]
+  ftclos stats <trace.json> [--folded]
+
+Every command also accepts `--trace FILE` to write a span/counter trace
+(JSON); summarize it with `ftclos stats`, or re-emit it as folded stacks
+for flamegraph tooling with `ftclos stats FILE --folded`.
 
 PATTERNS: shift:<k> random transpose bitrev neighbor tornado identity
 ROUTERS:  yuan dmodk smodk adaptive greedy rearrangeable
@@ -173,6 +231,25 @@ mod tests {
         // --json before another flag must not swallow it.
         let out = run(&argv("flowsim 2 4 5 --json --pattern shift:3")).unwrap();
         assert!(out.contains("\"pattern\":\"shift:3\""), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_trace_and_stats() {
+        let path = std::env::temp_dir().join("ftclos_cli_trace_test.json");
+        let spec = format!("verify 2 4 5 --trace {}", path.display());
+        run(&argv(&spec)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"trace_version\": 1"), "{text}");
+        assert!(text.contains("cmd.verify"), "{text}");
+        assert!(text.contains("arena.build"), "{text}");
+
+        let out = run(&argv(&format!("stats {}", path.display()))).unwrap();
+        assert!(out.contains("cmd.verify"), "{out}");
+        assert!(out.contains("span coverage"), "{out}");
+
+        let folded = run(&argv(&format!("stats {} --folded", path.display()))).unwrap();
+        assert!(folded.lines().all(|l| l.split_whitespace().count() == 2));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

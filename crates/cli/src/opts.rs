@@ -47,6 +47,14 @@ impl Opts {
         Ok(out)
     }
 
+    /// Positional `i` as a raw string.
+    pub fn pos_str(&self, i: usize, name: &str) -> Result<&str, CliError> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing argument <{name}>")))
+    }
+
     /// Positional `i` parsed as `usize`.
     pub fn pos_usize(&self, i: usize, name: &str) -> Result<usize, CliError> {
         let raw = self

@@ -1,0 +1,80 @@
+//! Determinism across thread counts: blocking witnesses and fluid rates
+//! must be byte-identical no matter how the parallel sweeps are scheduled.
+//! The engine's first-witness reduction and the waterfill solver both claim
+//! schedule-independence; this drives the real binary under
+//! `RAYON_NUM_THREADS` 1, 2, and 8 and diffs complete outputs.
+
+use std::process::Command;
+
+/// Run the `ftclos` binary with a fixed thread count, returning stdout.
+fn run_with_threads(args: &[&str], threads: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_ftclos"))
+        .args(args)
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("spawn ftclos");
+    assert!(
+        out.status.success(),
+        "ftclos {args:?} failed under RAYON_NUM_THREADS={threads}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// The same invocation at 1, 2, and 8 threads must emit identical bytes.
+fn assert_thread_invariant(args: &[&str]) {
+    let baseline = run_with_threads(args, "1");
+    for threads in ["2", "8"] {
+        let got = run_with_threads(args, threads);
+        assert_eq!(
+            baseline, got,
+            "ftclos {args:?} output depends on RAYON_NUM_THREADS={threads}"
+        );
+    }
+}
+
+#[test]
+fn blocking_witness_is_thread_count_invariant() {
+    // d-mod-k on an undersized fabric: the audit must report the *same*
+    // violating channel and witness pairs regardless of scan parallelism.
+    assert_thread_invariant(&["verify", "2", "2", "5", "--router", "dmodk"]);
+}
+
+#[test]
+fn nonblocking_verdict_is_thread_count_invariant() {
+    assert_thread_invariant(&["verify", "3", "9", "7"]);
+}
+
+#[test]
+fn fluid_rates_are_thread_count_invariant() {
+    // Full adversarial suite, JSON: every per-pattern rate, round count,
+    // and utilization decile must match bit-for-bit.
+    assert_thread_invariant(&["flowsim", "2", "4", "5", "--json"]);
+    assert_thread_invariant(&[
+        "flowsim",
+        "2",
+        "2",
+        "5",
+        "--router",
+        "dmodk",
+        "--pattern",
+        "random",
+        "--seed",
+        "3",
+        "--json",
+    ]);
+}
+
+#[test]
+fn blocking_sample_fraction_is_thread_count_invariant() {
+    assert_thread_invariant(&[
+        "blocking",
+        "2",
+        "2",
+        "5",
+        "--router",
+        "dmodk",
+        "--samples",
+        "40",
+    ]);
+}

@@ -24,6 +24,7 @@
 //! masks.
 
 use crate::verify::{ContentionWitness, LinkViolation};
+use ftclos_obs::{Noop, Recorder};
 use ftclos_routing::{PathArena, RouteAssignment, RoutingError, SinglePathRouter};
 use ftclos_topo::ChannelId;
 use ftclos_traffic::SdPair;
@@ -232,11 +233,35 @@ impl ContentionEngine {
         Ok(Self::from_arena(PathArena::build(router)?))
     }
 
+    /// [`ContentionEngine::new`] with instrumentation: the arena build
+    /// records under `arena.build` (see [`PathArena::build_with`]) and the
+    /// census pass under `engine.census`, with counters
+    /// `engine.census_records` (path entries censused) and
+    /// `engine.channels_touched`. With [`Noop`] this is exactly `new`.
+    ///
+    /// # Errors
+    /// Propagates the router's routing errors (see [`PathArena::build`]).
+    pub fn new_with<R: SinglePathRouter + ?Sized, Rec: Recorder>(
+        router: &R,
+        rec: &Rec,
+    ) -> Result<Self, RoutingError> {
+        let arena = PathArena::build_with(router, rec)?;
+        Ok(Self::from_arena_with(arena, rec))
+    }
+
     /// Wrap an existing arena (shares the census build).
     pub fn from_arena(arena: PathArena) -> Self {
+        Self::from_arena_with(arena, &Noop)
+    }
+
+    /// [`ContentionEngine::from_arena`] with the census pass recorded.
+    pub fn from_arena_with<Rec: Recorder>(arena: PathArena, rec: &Rec) -> Self {
+        let _span = rec.span("engine.census");
         let mut census = LinkCensus::with_channels(arena.num_channels());
         census.begin(arena.num_channels());
         Self::record_all(&arena, &mut census);
+        rec.add("engine.census_records", arena.total_hops() as u64);
+        rec.add("engine.channels_touched", census.touched().len() as u64);
         Self { arena, census }
     }
 
@@ -283,7 +308,23 @@ impl ContentionEngine {
     /// pairs always admits two pairs with distinct sources *and* distinct
     /// destinations.
     pub fn lemma1_violation(&self) -> Option<LinkViolation> {
-        let c = self.census.first_violation()?;
+        self.lemma1_violation_with(&Noop)
+    }
+
+    /// [`ContentionEngine::lemma1_violation`] with instrumentation: the
+    /// census scan records under span `engine.scan` (plus counter
+    /// `engine.channels_scanned`) and witness construction under
+    /// `engine.witness`.
+    pub fn lemma1_violation_with<Rec: Recorder>(&self, rec: &Rec) -> Option<LinkViolation> {
+        let scan = rec.span("engine.scan");
+        rec.add(
+            "engine.channels_scanned",
+            self.census.touched().len() as u64,
+        );
+        let c = self.census.first_violation();
+        drop(scan);
+        let c = c?;
+        let _witness = rec.span("engine.witness");
         Some(self.violation_witness(c))
     }
 
@@ -333,13 +374,31 @@ impl ContentionEngine {
     /// list of the lowest violating channel (a deterministic first-witness
     /// reduction — the answer is independent of thread count and schedule).
     pub fn blocking_witness(&self) -> Option<(ChannelId, [SdPair; 2])> {
-        let c = self
+        self.blocking_witness_with(&Noop)
+    }
+
+    /// [`ContentionEngine::blocking_witness`] with the channel scan and
+    /// witness normalization recorded (spans `engine.scan` /
+    /// `engine.witness`, counter `engine.channels_scanned`).
+    pub fn blocking_witness_with<Rec: Recorder>(
+        &self,
+        rec: &Rec,
+    ) -> Option<(ChannelId, [SdPair; 2])> {
+        let scan = rec.span("engine.scan");
+        rec.add(
+            "engine.channels_scanned",
+            self.census.touched().len() as u64,
+        );
+        let first = self
             .census
             .touched()
             .par_iter()
             .copied()
             .filter(|&c| self.census.violates(c))
-            .min()?;
+            .min();
+        drop(scan);
+        let c = first?;
+        let _witness = rec.span("engine.witness");
         let v = self.violation_witness(c);
         Some((
             c,
@@ -479,6 +538,39 @@ mod tests {
                     .collect();
                 assert!(on.contains(&w.a) && on.contains(&w.b));
             }
+        }
+    }
+
+    #[test]
+    fn recorded_engine_matches_plain_and_emits_spans() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let router = DModK::new(&ft);
+        let plain = ContentionEngine::new(&router).unwrap();
+        let reg = ftclos_obs::Registry::new();
+        let recorded = ContentionEngine::new_with(&router, &reg).unwrap();
+        assert_eq!(
+            plain.blocking_witness(),
+            recorded.blocking_witness_with(&reg)
+        );
+        assert_eq!(
+            plain.lemma1_violation(),
+            recorded.lemma1_violation_with(&reg)
+        );
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("engine.census_records"),
+            Some(recorded.arena().total_hops() as u64)
+        );
+        for path in [
+            "arena.build",
+            "engine.census",
+            "engine.scan",
+            "engine.witness",
+        ] {
+            assert!(
+                snap.spans.iter().any(|s| s.path == path),
+                "missing span {path}"
+            );
         }
     }
 

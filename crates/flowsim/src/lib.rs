@@ -41,5 +41,7 @@ pub use differential::{
 };
 pub use flows::{FlowError, FlowSet};
 pub use report::FluidReport;
-pub use sweep::{solve_pattern, standard_suite, sweep_patterns};
-pub use waterfill::{waterfill, waterfill_unit, FluidAllocation};
+pub use sweep::{
+    solve_pattern, solve_pattern_with, standard_suite, sweep_patterns, sweep_patterns_with,
+};
+pub use waterfill::{waterfill, waterfill_unit, waterfill_with, FluidAllocation};

@@ -3,7 +3,7 @@
 
 use crate::flows::{FlowError, FlowSet};
 use crate::report::FluidReport;
-use crate::waterfill::waterfill;
+use crate::waterfill::{waterfill_with, Noop, Recorder};
 use ftclos_routing::LinkLoadView;
 use ftclos_topo::ChannelCapacities;
 use ftclos_traffic::{patterns, Permutation};
@@ -16,8 +16,27 @@ pub fn solve_pattern<V: LinkLoadView + ?Sized>(
     perm: &Permutation,
     caps: &ChannelCapacities,
 ) -> Result<FluidReport, FlowError> {
-    let set = FlowSet::from_view(view, perm, caps.len())?;
-    let alloc = waterfill(&set, caps);
+    solve_pattern_with(view, pattern_name, perm, caps, &Noop)
+}
+
+/// [`solve_pattern`] with instrumentation: flow expansion records under
+/// span `flowsim.expand`, the solve under `flowsim.waterfill` (see
+/// [`waterfill_with`] for its counters).
+///
+/// # Errors
+/// As for [`solve_pattern`].
+pub fn solve_pattern_with<V: LinkLoadView + ?Sized, R: Recorder>(
+    view: &V,
+    pattern_name: &str,
+    perm: &Permutation,
+    caps: &ChannelCapacities,
+    rec: &R,
+) -> Result<FluidReport, FlowError> {
+    let set = {
+        let _span = rec.span("flowsim.expand");
+        FlowSet::from_view(view, perm, caps.len())?
+    };
+    let alloc = waterfill_with(&set, caps, rec);
     Ok(FluidReport::new(
         view.name(),
         pattern_name,
@@ -25,6 +44,24 @@ pub fn solve_pattern<V: LinkLoadView + ?Sized>(
         &set,
         &alloc,
     ))
+}
+
+/// [`sweep_patterns`] with instrumentation, under one `flowsim.sweep`
+/// span. Patterns solve *sequentially* here: span timers nest lexically
+/// on one thread, so the traced sweep trades the parallel batch for an
+/// accurate per-phase profile (counters would survive parallelism; the
+/// span tree would not).
+pub fn sweep_patterns_with<V: LinkLoadView + ?Sized, R: Recorder>(
+    view: &V,
+    suite: &[(String, Permutation)],
+    caps: &ChannelCapacities,
+    rec: &R,
+) -> Vec<Result<FluidReport, FlowError>> {
+    let _span = rec.span("flowsim.sweep");
+    suite
+        .iter()
+        .map(|(name, perm)| solve_pattern_with(view, name, perm, caps, rec))
+        .collect()
 }
 
 /// Solve a whole suite of `(name, permutation)` patterns through `view`,

@@ -22,6 +22,7 @@
 //! lower id winning ties, so the result is independent of thread count.
 
 use crate::flows::FlowSet;
+pub use ftclos_obs::{Noop, Recorder};
 use ftclos_topo::ChannelCapacities;
 use rayon::prelude::*;
 
@@ -101,6 +102,24 @@ impl FluidAllocation {
 /// Panics if `caps` covers fewer channels than the flow set references
 /// (build both from the same topology).
 pub fn waterfill(flows: &FlowSet, caps: &ChannelCapacities) -> FluidAllocation {
+    waterfill_with(flows, caps, &Noop)
+}
+
+/// [`waterfill`] with instrumentation: the solve records under span
+/// `flowsim.waterfill` with counters `flowsim.rounds` (bottleneck rounds),
+/// `flowsim.fill_events` (flows frozen at a bottleneck level),
+/// `flowsim.saturated_channels` (channels that hit their cap across all
+/// rounds), and `flowsim.demand_events` (runs ending in the unconstrained
+/// demand event). With [`Noop`] this is exactly `waterfill`.
+///
+/// # Panics
+/// Same as [`waterfill`].
+pub fn waterfill_with<R: Recorder>(
+    flows: &FlowSet,
+    caps: &ChannelCapacities,
+    rec: &R,
+) -> FluidAllocation {
+    let _span = rec.span("flowsim.waterfill");
     assert!(
         caps.len() >= flows.num_channels(),
         "capacity map covers {} channels, flow set needs {}",
@@ -151,6 +170,8 @@ pub fn waterfill(flows: &FlowSet, caps: &ChannelCapacities) -> FluidAllocation {
         if level >= DEMAND - EPS {
             // Demand event: every remaining flow reaches unit rate
             // unconstrained.
+            rec.add("flowsim.demand_events", 1);
+            rec.add("flowsim.fill_events", num_active as u64);
             for (i, rate) in rates.iter_mut().enumerate() {
                 if active[i] {
                     *rate = DEMAND;
@@ -173,8 +194,10 @@ pub fn waterfill(flows: &FlowSet, caps: &ChannelCapacities) -> FluidAllocation {
                 headroom / aw <= threshold
             })
             .collect();
+        rec.add("flowsim.saturated_channels", saturated.len() as u64);
 
         let mut frozen_any = false;
+        let active_before = num_active;
         for &c in &saturated {
             for &fi in flows.flows_on(c) {
                 let fi = fi as usize;
@@ -191,6 +214,7 @@ pub fn waterfill(flows: &FlowSet, caps: &ChannelCapacities) -> FluidAllocation {
                 }
             }
         }
+        rec.add("flowsim.fill_events", (active_before - num_active) as u64);
         // Numerical safety net: a saturated channel whose flows were all
         // frozen in this very round cannot stall the loop, but if rounding
         // ever produced a saturated set with no active flow, stop rather
@@ -215,6 +239,7 @@ pub fn waterfill(flows: &FlowSet, caps: &ChannelCapacities) -> FluidAllocation {
             link_load[c] += r * w;
         }
     }
+    rec.add("flowsim.rounds", rounds as u64);
     FluidAllocation {
         rates,
         link_load,
@@ -355,6 +380,28 @@ mod tests {
             .unwrap();
         assert_eq!(alloc.rates()[dead_flow], 0.0);
         assert_eq!(alloc.worst_rate(), 0.0);
+    }
+
+    #[test]
+    fn recorded_waterfill_matches_plain_and_counts_fills() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let router = DModK::new(&ft);
+        let perm = patterns::shift(10, 2);
+        let set = FlowSet::from_view(&router, &perm, ft.topology().num_channels()).unwrap();
+        let caps = ChannelCapacities::unit(ft.topology());
+        let plain = waterfill(&set, &caps);
+        let reg = ftclos_obs::Registry::new();
+        let recorded = waterfill_with(&set, &caps, &reg);
+        assert_eq!(plain, recorded);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("flowsim.rounds"), Some(plain.rounds() as u64));
+        // Every network-crossing flow freezes exactly once (at a bottleneck
+        // or in the final demand event).
+        let networked = (0..set.num_flows())
+            .filter(|&i| set.links(i).next().is_some())
+            .count();
+        assert_eq!(snap.counter("flowsim.fill_events"), Some(networked as u64));
+        assert!(snap.spans.iter().any(|s| s.path == "flowsim.waterfill"));
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! A minimal JSON reader/writer for the dialect this workspace emits.
+//!
+//! There is intentionally no serde_json in-tree (the vendored `serde` is a
+//! marker shim), so tooling that needs to read JSON back — `ftclos stats`
+//! summarizing a trace, snapshot tests normalizing volatile timing fields —
+//! parses with this module. It handles exactly what our writers produce:
+//! objects, arrays, strings with the common escapes, finite numbers, bools,
+//! and null. Object key order is preserved on parse and re-emit, so a
+//! parse→write round trip of an already-normalized document is stable.
+
+use std::fmt;
+
+/// A parsed JSON value. Object entries keep their source order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64 — the workspace never emits ints that
+    /// lose precision in f64 except raw nanosecond fields, which tooling
+    /// scrubs before comparing anyway).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, entries in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a JSON document. Returns a message with byte offset on error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as u64, if a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as &str, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice, if an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact canonical re-emission (no whitespace, preserved key order).
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = fmt::Write::write_fmt(out, format_args!("{}", *n as i64));
+                } else {
+                    let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Recursively zero every numeric field whose key ends in `suffix`
+    /// (e.g. `_ns`). Snapshot tests scrub timing fields this way before
+    /// comparing a trace against its golden file: the *shape* (keys, span
+    /// paths, counts, counters) is pinned; wall-clock values are not.
+    pub fn scrub_keys_ending(&mut self, suffix: &str) {
+        match self {
+            Json::Obj(entries) => {
+                for (k, v) in entries.iter_mut() {
+                    if k.ends_with(suffix) && matches!(v, Json::Num(_)) {
+                        *v = Json::Num(0.0);
+                    } else {
+                        v.scrub_keys_ending(suffix);
+                    }
+                }
+            }
+            Json::Arr(items) => {
+                for v in items.iter_mut() {
+                    v.scrub_keys_ending(suffix);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            // Surrogate pairs never appear in our writers;
+                            // map unpaired surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // on char boundaries is safe via chars()).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let ch = s.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_workspace_dialect() {
+        let doc = r#"{
+  "trace_version": 1,
+  "meta": {"command":"verify","args":"--hosts 4"},
+  "spans": [
+    {"path":"cmd.verify;engine.build","count":1,"total_ns":12345}
+  ],
+  "ok": true,
+  "missing": null,
+  "ratio": -0.5
+}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("trace_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            v.get("meta")
+                .and_then(|m| m.get("command"))
+                .and_then(Json::as_str),
+            Some("verify")
+        );
+        let spans = v.get("spans").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            spans[0].get("path").and_then(Json::as_str),
+            Some("cmd.verify;engine.build")
+        );
+        assert_eq!(spans[0].get("total_ns").and_then(Json::as_u64), Some(12345));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("missing"), Some(&Json::Null));
+        assert_eq!(v.get("ratio").and_then(Json::as_f64), Some(-0.5));
+    }
+
+    #[test]
+    fn roundtrip_is_stable() {
+        let doc = r#"{"b":1,"a":[2,3,{"x":"y \"quoted\"\n"}],"n":null}"#;
+        let v = Json::parse(doc).unwrap();
+        let emitted = v.write();
+        let v2 = Json::parse(&emitted).unwrap();
+        assert_eq!(v, v2);
+        assert_eq!(emitted, v2.write());
+        // Key order preserved, not sorted.
+        assert!(emitted.find("\"b\"").unwrap() < emitted.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn scrub_zeroes_timing_keys_recursively() {
+        let doc = r#"{"wall_ns":987,"spans":[{"path":"a","total_ns":55,"self_ns":44,"count":3}],"counters":{"x_ns_like":1}}"#;
+        let mut v = Json::parse(doc).unwrap();
+        v.scrub_keys_ending("_ns");
+        assert_eq!(v.get("wall_ns").and_then(Json::as_u64), Some(0));
+        let span = &v.get("spans").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(span.get("total_ns").and_then(Json::as_u64), Some(0));
+        assert_eq!(span.get("self_ns").and_then(Json::as_u64), Some(0));
+        assert_eq!(span.get("count").and_then(Json::as_u64), Some(3));
+        // Key merely *containing* _ns is untouched.
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("x_ns_like"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn integers_reemit_without_decimal_point() {
+        let v = Json::parse("{\"n\":12345678,\"f\":1.5}").unwrap();
+        let out = v.write();
+        assert!(out.contains("\"n\":12345678"));
+        assert!(out.contains("\"f\":1.5"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # ftclos-obs — the observability spine of the ftclos workspace
+//!
+//! A lightweight, zero-dependency instrumentation layer: hierarchical span
+//! timers, atomic counters / gauges / log-bucketed histograms, and an
+//! epoch-snapshot registry that serializes to the same hand-rolled JSON
+//! style the flowsim reports use. Every hot path in the workspace —
+//! `core::engine`, `flowsim::waterfill`, `sim::engine`, `routing::arena` —
+//! threads a [`Recorder`] through its work; the default [`Noop`] recorder
+//! monomorphizes to nothing, so un-traced runs pay zero cost (the E20/E21
+//! benchmarks in `coreperf` pin the no-op delta under 2%).
+//!
+//! ## The three layers
+//!
+//! * [`Recorder`] — the trait hot paths are generic over. [`Noop`]
+//!   implements it with empty inlined bodies; [`Registry`] implements it
+//!   for real.
+//! * [`Registry`] — the concrete sink: named atomic [`Counter`]s,
+//!   [`Gauge`]s and [`Histogram`]s (registered once, bumped lock-free), a
+//!   mutex-guarded span tree for coarse phase timers, and an epoch log
+//!   capturing cumulative counter/gauge values at caller-chosen boundaries
+//!   (the simulator marks one epoch per churn transition).
+//! * [`Snapshot`] — a frozen, deterministic view of a registry:
+//!   [`Snapshot::to_json`] emits the trace JSON `ftclos --trace` writes
+//!   (stable field order — everything is sorted by name), and
+//!   [`Snapshot::to_folded`] emits flamegraph-ready folded stacks
+//!   (`root;child self_ns`).
+//!
+//! ## Reading traces back
+//!
+//! [`json`] is a minimal parser for the JSON this workspace emits (there is
+//! no serde_json in-tree); `ftclos stats` and the snapshot tests use it to
+//! summarize and normalize traces.
+//!
+//! ```
+//! use ftclos_obs::{Recorder, Registry};
+//!
+//! let reg = Registry::new();
+//! {
+//!     let _outer = reg.span("solve");
+//!     let _inner = reg.span("bottleneck_scan");
+//!     reg.add("rounds", 1);
+//!     reg.observe("frozen_flows", 12);
+//! }
+//! reg.mark_epoch("steady");
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("rounds"), Some(1));
+//! assert!(snap.to_json("demo", "").contains("\"solve;bottleneck_scan\""));
+//! ```
+
+pub mod json;
+pub mod recorder;
+pub mod registry;
+
+pub use recorder::{Noop, Recorder, SpanGuard};
+pub use registry::{
+    Counter, EpochSnapshot, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, SpanSnapshot,
+};

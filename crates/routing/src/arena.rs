@@ -24,6 +24,7 @@ use crate::error::RoutingError;
 use crate::loadview::{FlowLinks, LinkLoadView};
 use crate::path::Path;
 use crate::router::SinglePathRouter;
+use ftclos_obs::{Noop, Recorder};
 use ftclos_topo::ChannelId;
 use ftclos_traffic::{Permutation, SdPair};
 
@@ -55,6 +56,21 @@ impl PathArena {
     /// arena enumerates only in-range ports, so errors indicate a router
     /// whose `ports()` disagrees with its routable universe).
     pub fn build<R: SinglePathRouter + ?Sized>(router: &R) -> Result<Self, RoutingError> {
+        Self::build_with(router, &Noop)
+    }
+
+    /// [`PathArena::build`] with instrumentation: records the build under
+    /// span `arena.build`, counts routed pairs (`arena.paths_routed`), and
+    /// gauges the frozen tables (`arena.bytes`, `arena.channels`,
+    /// `arena.hops`). With [`Noop`] this is exactly `build`.
+    ///
+    /// # Errors
+    /// Same as [`PathArena::build`].
+    pub fn build_with<R: SinglePathRouter + ?Sized, Rec: Recorder>(
+        router: &R,
+        rec: &Rec,
+    ) -> Result<Self, RoutingError> {
+        let _span = rec.span("arena.build");
         let ports = router.ports();
         let p = ports as usize;
         let rows = p * p;
@@ -95,7 +111,7 @@ impl PathArena {
             }
         }
 
-        Ok(Self {
+        let arena = Self {
             ports,
             num_channels,
             path_start,
@@ -103,7 +119,12 @@ impl PathArena {
             chan_start,
             chan_pairs,
             name: router.name(),
-        })
+        };
+        rec.add("arena.paths_routed", arena.num_pairs() as u64);
+        rec.gauge("arena.bytes", arena.bytes() as u64);
+        rec.gauge("arena.channels", arena.num_channels as u64);
+        rec.gauge("arena.hops", arena.total_hops() as u64);
+        Ok(arena)
     }
 
     /// Leaf universe size.
@@ -340,6 +361,29 @@ mod tests {
         let a = route_all(&dmodk, &perm).unwrap();
         let b = route_all(&arena, &perm).unwrap();
         assert_eq!(a.routes(), b.routes());
+    }
+
+    #[test]
+    fn recorded_build_matches_plain_build_and_emits_metrics() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let yuan = YuanDeterministic::new(&ft).unwrap();
+        let plain = PathArena::build(&yuan).unwrap();
+        let reg = ftclos_obs::Registry::new();
+        let recorded = PathArena::build_with(&yuan, &reg).unwrap();
+        for s in 0..plain.ports() {
+            for d in 0..plain.ports() {
+                let pair = SdPair::new(s, d);
+                assert_eq!(plain.path(pair), recorded.path(pair));
+            }
+        }
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("arena.paths_routed"),
+            Some(plain.num_pairs() as u64)
+        );
+        assert_eq!(snap.gauge("arena.bytes"), Some(plain.bytes() as u64));
+        assert_eq!(snap.gauge("arena.hops"), Some(plain.total_hops() as u64));
+        assert!(snap.spans.iter().any(|s| s.path == "arena.build"));
     }
 
     #[test]

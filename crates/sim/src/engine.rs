@@ -7,6 +7,7 @@ use crate::fault::{ChurnSchedule, FaultSchedule};
 use crate::policy::Policy;
 use crate::stats::SimStats;
 use crate::workload::Workload;
+use ftclos_obs::{Noop, Recorder};
 use ftclos_routing::LinkAdmission;
 use ftclos_topo::{ChannelId, NodeId, Topology, Transition};
 use rand::{Rng, SeedableRng};
@@ -30,6 +31,40 @@ struct Packet {
     deadline: u64,
     /// Retransmissions already consumed.
     retries: u32,
+}
+
+/// Cumulative simulator totals already flushed to a [`Recorder`]: each
+/// flush pushes only the delta, so recorder counters stay equal to the
+/// engine's monotonic stats at every epoch boundary.
+#[derive(Clone, Copy, Debug, Default)]
+struct FlushedTotals {
+    injected: u64,
+    delivered: u64,
+    timed_out: u64,
+    retries: u64,
+    abandoned: u64,
+    refusals: u64,
+}
+
+impl FlushedTotals {
+    fn flush<R: Recorder>(&mut self, rec: &R, stats: &SimStats) {
+        rec.add("sim.injected", stats.injected_total - self.injected);
+        rec.add("sim.delivered", stats.delivered_total - self.delivered);
+        rec.add("sim.timed_out", stats.timed_out_total - self.timed_out);
+        rec.add("sim.retries", stats.retries_total - self.retries);
+        rec.add("sim.abandoned", stats.abandoned_total - self.abandoned);
+        rec.add("sim.refusals", stats.injection_refusals - self.refusals);
+        rec.gauge(
+            "sim.in_flight",
+            stats.injected_total - stats.delivered_total - stats.abandoned_total,
+        );
+        self.injected = stats.injected_total;
+        self.delivered = stats.delivered_total;
+        self.timed_out = stats.timed_out_total;
+        self.retries = stats.retries_total;
+        self.abandoned = stats.abandoned_total;
+        self.refusals = stats.injection_refusals;
+    }
 }
 
 /// Cycle-level simulator over a [`Topology`] with a path [`Policy`].
@@ -71,6 +106,42 @@ impl<'a> Simulator<'a> {
         self.try_run_with_faults(workload, seed, &FaultSchedule::new())
     }
 
+    /// [`Simulator::try_run`] with instrumentation: the run records under
+    /// span `sim.run`, with cumulative counters (`sim.injected`,
+    /// `sim.delivered`, `sim.timed_out`, `sim.retries`, `sim.abandoned`,
+    /// `sim.refusals`, `sim.cycles`), the `sim.in_flight` gauge, and one
+    /// recorder epoch per liveness-transition cycle plus a final `end`
+    /// epoch — so per-epoch packet conservation is auditable from the
+    /// trace alone. With [`Noop`] this is exactly `try_run`.
+    ///
+    /// # Errors
+    /// As for [`Simulator::try_run`].
+    pub fn try_run_recorded<R: Recorder>(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        rec: &R,
+    ) -> Result<SimStats, SimError> {
+        self.run_loop(workload, seed, &FaultSchedule::new(), None, rec)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`Simulator::try_run_with_faults`] with instrumentation (see
+    /// [`Simulator::try_run_recorded`] for what is recorded).
+    ///
+    /// # Errors
+    /// As for [`Simulator::try_run`].
+    pub fn try_run_with_faults_recorded<R: Recorder>(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        faults: &FaultSchedule,
+        rec: &R,
+    ) -> Result<SimStats, SimError> {
+        self.run_loop(workload, seed, faults, None, rec)
+            .map(|(stats, _)| stats)
+    }
+
     /// Run with mid-simulation channel transitions: each event of `faults`
     /// marks its channel dead — or alive again — at the start of its cycle.
     /// Dead channels grant no packets; stalled traffic is dropped/retried
@@ -85,7 +156,7 @@ impl<'a> Simulator<'a> {
         seed: u64,
         faults: &FaultSchedule,
     ) -> Result<SimStats, SimError> {
-        self.run_loop(workload, seed, faults, None)
+        self.run_loop(workload, seed, faults, None, &Noop)
             .map(|(stats, _)| stats)
     }
 
@@ -105,18 +176,41 @@ impl<'a> Simulator<'a> {
         schedule: &ChurnSchedule,
         churn: &ChurnConfig,
     ) -> Result<(SimStats, ChurnReport), SimError> {
-        self.run_loop(workload, seed, schedule, Some(churn))
+        self.run_loop(workload, seed, schedule, Some(churn), &Noop)
             .map(|(stats, report)| (stats, report.unwrap_or_default()))
     }
 
-    fn run_loop(
+    /// [`Simulator::try_run_churn`] with instrumentation (see
+    /// [`Simulator::try_run_recorded`]; additionally counts hysteresis
+    /// re-planning events under `sim.churn_replans`).
+    ///
+    /// # Errors
+    /// As for [`Simulator::try_run`].
+    pub fn try_run_churn_recorded<R: Recorder>(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        schedule: &ChurnSchedule,
+        churn: &ChurnConfig,
+        rec: &R,
+    ) -> Result<(SimStats, ChurnReport), SimError> {
+        self.run_loop(workload, seed, schedule, Some(churn), rec)
+            .map(|(stats, report)| (stats, report.unwrap_or_default()))
+    }
+
+    fn run_loop<R: Recorder>(
         &mut self,
         workload: &Workload,
         seed: u64,
         faults: &ChurnSchedule,
         churn: Option<&ChurnConfig>,
+        rec: &R,
     ) -> Result<(SimStats, Option<ChurnReport>), SimError> {
         self.cfg.validate()?;
+        let _span = rec.span("sim.run");
+        // Counter values already pushed to the recorder (counters are
+        // monotonic; each flush adds only the delta since the last one).
+        let mut flushed = FlushedTotals::default();
         // A fresh run starts unmasked; churn modes rebuild the mask below.
         self.policy.set_live_mask(None);
         // Churn instrumentation (None outside churn runs, no overhead).
@@ -220,10 +314,18 @@ impl<'a> Simulator<'a> {
                     _ => epoch_marks.push(mark),
                 }
             }
+            if downs_now + ups_now > 0 && rec.is_enabled() {
+                // A liveness transition closes a recorder epoch: cumulative
+                // counters and the in-flight gauge at this boundary make
+                // per-epoch packet conservation auditable from the trace.
+                flushed.flush(rec, &stats);
+                rec.mark_epoch(&format!("cycle={now}"));
+            }
             // Re-planning: promote stabilized links, refresh the pick mask.
             if let Some(adm) = admission.as_mut() {
                 if adm.tick(now) {
                     self.policy.set_live_mask(Some(adm.mask()));
+                    rec.add("sim.churn_replans", 1);
                 }
             }
             // --- Timeout sweep: expire packets past their deadline ---
@@ -441,6 +543,11 @@ impl<'a> Simulator<'a> {
         stats.leftover_packets =
             stats.injected_total - stats.delivered_total - stats.abandoned_total;
         stats.active_sources = source_injected.iter().filter(|&&b| b).count();
+        rec.add("sim.cycles", now);
+        if rec.is_enabled() {
+            flushed.flush(rec, &stats);
+            rec.mark_epoch("end");
+        }
         window_latencies.sort_unstable();
         self.finish_stats(&mut stats, &window_latencies);
         let report = churn.map(|c| {
@@ -1296,6 +1403,55 @@ mod tests {
             pinned.timed_out_total
         );
         assert!(per_cycle.delivered_total >= pinned.delivered_total);
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_and_conserves_per_epoch() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_500,
+            ttl_cycles: 40,
+            drain: true,
+            ..SimConfig::default()
+        };
+        let mut faults = crate::FaultSchedule::new();
+        for t in 0..4 {
+            faults.kill_channel(400, ft.up_channel(0, t));
+            faults.revive_channel(900, ft.up_channel(0, t));
+        }
+        let w = Workload::permutation(&perm, 0.6);
+        let plain = Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+            .try_run_with_faults(&w, 9, &faults)
+            .unwrap();
+        let reg = ftclos_obs::Registry::new();
+        let recorded = Simulator::new(ft.topology(), config, Policy::from_single_path(&router))
+            .try_run_with_faults_recorded(&w, 9, &faults, &reg)
+            .unwrap();
+        assert_eq!(plain, recorded, "recording must not perturb the run");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.injected"), Some(plain.injected_total));
+        assert_eq!(snap.counter("sim.delivered"), Some(plain.delivered_total));
+        assert_eq!(snap.counter("sim.abandoned"), Some(plain.abandoned_total));
+        assert_eq!(snap.gauge("sim.in_flight"), Some(plain.leftover_packets));
+        assert!(snap.spans.iter().any(|s| s.path == "sim.run"));
+        // Epochs: one per transition cycle (400 and 900) plus the final
+        // "end" mark, each conserving injected = delivered + abandoned +
+        // in-flight at its boundary.
+        assert_eq!(snap.epochs.len(), 3);
+        assert_eq!(snap.epochs[0].label, "cycle=400");
+        assert_eq!(snap.epochs[1].label, "cycle=900");
+        assert_eq!(snap.epochs[2].label, "end");
+        for e in &snap.epochs {
+            assert_eq!(
+                e.counter("sim.injected"),
+                e.counter("sim.delivered") + e.counter("sim.abandoned") + e.gauge("sim.in_flight"),
+                "epoch {} must conserve packets",
+                e.label
+            );
+        }
     }
 
     #[test]

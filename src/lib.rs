@@ -13,6 +13,7 @@
 //! | [`sim`] | `ftclos-sim` | cycle-level VOQ packet simulator with pluggable path policies |
 //! | [`flowsim`] | `ftclos-flowsim` | deterministic max-min fair fluid flow-rate simulator (water-filling) for delivered throughput at datacenter scale |
 //! | [`analysis`] | `ftclos-analysis` | closed-form bounds, recurrences, power-law fits, cost models |
+//! | [`obs`] | `ftclos-obs` | zero-dep observability: span timers, counters/gauges/histograms, epoch snapshots, trace JSON + folded stacks |
 //!
 //! ## Quick start
 //!
@@ -35,6 +36,7 @@
 pub use ftclos_analysis as analysis;
 pub use ftclos_core as core;
 pub use ftclos_flowsim as flowsim;
+pub use ftclos_obs as obs;
 pub use ftclos_routing as routing;
 pub use ftclos_sim as sim;
 pub use ftclos_topo as topo;

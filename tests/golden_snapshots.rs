@@ -1,0 +1,134 @@
+//! Golden-file snapshot tests: pin the exact text/JSON the user-facing
+//! surfaces emit — flowsim reports, the faults and churn commands, and the
+//! `--trace` JSON (with volatile `*_ns` timing fields scrubbed to zero so
+//! only the *shape* is pinned: span paths, counts, counters, gauges).
+//!
+//! On intentional output changes, regenerate with:
+//! `UPDATE_SNAPSHOTS=1 cargo test --test golden_snapshots`
+
+use ftclos::obs::json::Json;
+use std::path::{Path, PathBuf};
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name)
+}
+
+/// Compare `actual` against the stored golden file, or rewrite the golden
+/// when `UPDATE_SNAPSHOTS` is set.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("snapshot dir")).expect("mkdir snapshots");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {name} ({e}); create it with UPDATE_SNAPSHOTS=1")
+    });
+    assert_eq!(
+        expected, actual,
+        "output drifted from tests/snapshots/{name}; if intentional, \
+         regenerate with UPDATE_SNAPSHOTS=1"
+    );
+}
+
+/// Run a CLI invocation (the same entry the binary uses) and return stdout.
+fn cli(args: &str) -> String {
+    let argv: Vec<String> = args.split_whitespace().map(String::from).collect();
+    ftclos_cli::run(&argv).unwrap_or_else(|e| panic!("`ftclos {args}` failed: {e}"))
+}
+
+#[test]
+fn flowsim_text_report_is_stable() {
+    assert_matches_golden("flowsim_2_4_5.txt", &cli("flowsim 2 4 5"));
+}
+
+#[test]
+fn flowsim_json_report_is_stable() {
+    assert_matches_golden("flowsim_2_4_5.json", &cli("flowsim 2 4 5 --json"));
+}
+
+#[test]
+fn flowsim_faulted_report_is_stable() {
+    assert_matches_golden(
+        "flowsim_2_4_5_failtop.txt",
+        &cli("flowsim 2 4 5 --router multipath --fail-tops 1"),
+    );
+}
+
+#[test]
+fn faults_output_is_stable() {
+    assert_matches_golden(
+        "faults_2_4_5.txt",
+        &cli("faults 2 4 5 --fail-tops 1 --samples 5 --max-k 1 --seed 0"),
+    );
+}
+
+#[test]
+fn churn_output_is_stable() {
+    assert_matches_golden(
+        "churn_2_4_3.txt",
+        &cli("churn 2 4 3 --links 1 --mtbf 200 --mttr 60 --cycles 600 --samples 10 --seed 3"),
+    );
+}
+
+/// The `--trace` JSON, with every `*_ns` field zeroed: the span tree
+/// (paths, nesting, counts), counters, and gauges must not drift silently.
+#[test]
+fn verify_trace_shape_is_stable() {
+    let trace = std::env::temp_dir().join("ftclos_golden_trace.json");
+    cli(&format!("verify 2 4 5 --trace {}", trace.display()));
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let _ = std::fs::remove_file(&trace);
+    let mut doc = Json::parse(&text).expect("trace parses");
+    doc.scrub_keys_ending("_ns");
+    // Scrub the args line too: it embeds the temp path.
+    if let Json::Obj(entries) = &mut doc {
+        for (k, v) in entries.iter_mut() {
+            if k == "meta" {
+                if let Json::Obj(meta) = v {
+                    for (mk, mv) in meta.iter_mut() {
+                        if mk == "args" {
+                            *mv = Json::Str("<args>".to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_matches_golden("verify_trace_2_4_5.json", &doc.write());
+}
+
+/// The simulate command's trace: sim counters must conserve packets
+/// (injected = delivered + abandoned + in-flight) in the final state.
+#[test]
+fn simulate_trace_counters_conserve() {
+    let trace = std::env::temp_dir().join("ftclos_golden_sim_trace.json");
+    cli(&format!(
+        "simulate 2 4 5 --pattern shift:3 --rate 0.8 --cycles 400 --trace {}",
+        trace.display()
+    ));
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let _ = std::fs::remove_file(&trace);
+    let doc = Json::parse(&text).expect("trace parses");
+    let counter = |name: &str| {
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let in_flight = doc
+        .get("gauges")
+        .and_then(|g| g.get("sim.in_flight"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let injected = counter("sim.injected");
+    assert!(injected > 0, "trace recorded injections: {text}");
+    assert_eq!(
+        injected,
+        counter("sim.delivered") + counter("sim.abandoned") + in_flight,
+        "conservation over the final flush: {text}"
+    );
+}
