@@ -19,6 +19,12 @@
 //! * peak arena bytes;
 //! * verdict-agreement smoke on one blocking and one nonblocking fabric.
 //!
+//! E22 — channel-dependency deadlock analysis at scale: CDG build + cycle
+//! check for Theorem 3 and d-mod-k routing on `ftree(16+256, 625)` (10k
+//! ports, 10⁸ SD pairs, 340k directed channels) must prove deadlock freedom
+//! (zero valley turns) inside a wall-clock budget, and the valley straw-man
+//! must still yield its deterministic witness cycle.
+//!
 //! Results land in `BENCH_core.json` (hand-rolled JSON, stable key order)
 //! next to the working directory for CI artifact upload. Exits nonzero when
 //! any claim — including the ≥10× speedup — fails.
@@ -26,7 +32,7 @@
 use ftclos_bench::{banner, result_line, verdict, SEED};
 use ftclos_core::search::{find_blocking_two_pair, find_blocking_two_pair_legacy};
 use ftclos_core::verify::{find_contention, LinkAudit};
-use ftclos_core::{ContentionEngine, ContentionScratch};
+use ftclos_core::{cdg_of_router, ContentionEngine, ContentionScratch, ValleyRouter};
 use ftclos_obs::Registry;
 use ftclos_routing::{route_all, DModK, PathArena, RoutingError, YuanDeterministic};
 use ftclos_topo::{Ftree, TopoError};
@@ -275,6 +281,54 @@ fn run() -> Result<bool, BenchError> {
         "smoke: both sweeps clear ftree(2+4, 5) Theorem 3 routing",
     );
 
+    // E22 — channel-dependency deadlock analysis at scale. The CDG
+    // extractor walks all 10⁸ SD pairs of a 10k-port fabric and the cycle
+    // check (Tarjan over 340k channels) must still fit interactive budgets.
+    banner("E22", "channel-dependency deadlock analysis at scale");
+    let (bn, bm, br) = (16usize, 256usize, 625usize);
+    let big = Ftree::new(bn, bm, br)?;
+    result_line("cdg_fabric", format!("ftree({bn}+{bm}, {br})"));
+    result_line("cdg_ports", bn * br);
+    result_line("cdg_channels", big.topology().num_channels());
+    let big_yuan = YuanDeterministic::new(&big)?;
+    let (yuan_cdg_s, yuan_analysis) =
+        time_once(|| cdg_of_router(big.topology(), &big_yuan).check());
+    result_line("yuan_cdg_deps", yuan_analysis.num_deps);
+    result_line("yuan_cdg_build_check_s", format!("{yuan_cdg_s:.3}"));
+    all_ok &= verdict(
+        yuan_analysis.is_free() && yuan_analysis.valley_turns == 0,
+        "Theorem 3 routing on ftree(16+256, 625) is deadlock-free, no valleys",
+    );
+    let big_dmodk = DModK::new(&big);
+    let (dmodk_cdg_s, dmodk_analysis) =
+        time_once(|| cdg_of_router(big.topology(), &big_dmodk).check());
+    result_line("dmodk_cdg_deps", dmodk_analysis.num_deps);
+    result_line("dmodk_cdg_build_check_s", format!("{dmodk_cdg_s:.3}"));
+    all_ok &= verdict(
+        dmodk_analysis.is_free() && dmodk_analysis.valley_turns == 0,
+        "d-mod-k routing on ftree(16+256, 625) is deadlock-free, no valleys",
+    );
+    // ~7 s per router on a developer machine; the budget leaves room for a
+    // slow 2-core CI runner while a complexity regression (the walk going
+    // quadratic in path length, or the bitmap union serializing) still
+    // trips the gate.
+    const E22_BUDGET_S: f64 = 120.0;
+    all_ok &= verdict(
+        yuan_cdg_s < E22_BUDGET_S && dmodk_cdg_s < E22_BUDGET_S,
+        "CDG build + cycle check stays under the 120 s budget",
+    );
+    // Witness smoke: the intentionally broken valley router must be caught
+    // with the full-length deterministic cycle the injection harness pins.
+    let vft = Ftree::new(1, 1, 4)?;
+    let valley_analysis = cdg_of_router(vft.topology(), &ValleyRouter::new(&vft)).check();
+    let valley_witness_len = valley_analysis.verdict.witness().map_or(0, <[_]>::len);
+    result_line("valley_witness_len", valley_witness_len);
+    let valley_caught = !valley_analysis.is_free() && valley_witness_len == 8;
+    all_ok &= verdict(
+        valley_caught,
+        "valley straw-man on ftree(1+1, 4) yields its 8-channel witness",
+    );
+
     // Machine-readable record for CI (hand-rolled: no serde_json in-tree).
     let json = format!(
         "{{\n  \"experiment\": \"E20\",\n  \"fabric\": \"ftree({n}+{m}, {r})\",\n  \
@@ -285,7 +339,14 @@ fn run() -> Result<bool, BenchError> {
          \"plain_build_audit_ms\": {pb},\n  \"recorded_build_audit_ms\": {rb},\n  \
          \"record_overhead_pct\": {op},\n  \"arena_bytes\": {ab},\n  \
          \"smoke_blocking_agree\": {sb},\n  \
-         \"smoke_nonblocking_agree\": {sn},\n  \"pass\": {pass}\n}}\n",
+         \"smoke_nonblocking_agree\": {sn},\n  \
+         \"e22_cdg_fabric\": \"ftree({bn}+{bm}, {br})\",\n  \
+         \"e22_yuan_cdg_deps\": {yd},\n  \
+         \"e22_yuan_cdg_build_check_s\": {ys},\n  \
+         \"e22_dmodk_cdg_deps\": {dd},\n  \
+         \"e22_dmodk_cdg_build_check_s\": {ds},\n  \
+         \"e22_deadlock_free\": {ef},\n  \
+         \"e22_valley_witness_len\": {vw},\n  \"pass\": {pass}\n}}\n",
         ports = n * r,
         lts = json_f64(legacy_sweep_s * 1e3),
         ets = json_f64(engine_sweep_s * 1e3),
@@ -300,6 +361,12 @@ fn run() -> Result<bool, BenchError> {
         ab = arena_bytes,
         sb = blocking_agree,
         sn = clean_agree,
+        yd = yuan_analysis.num_deps,
+        ys = json_f64(yuan_cdg_s),
+        dd = dmodk_analysis.num_deps,
+        ds = json_f64(dmodk_cdg_s),
+        ef = yuan_analysis.is_free() && dmodk_analysis.is_free(),
+        vw = valley_witness_len,
         pass = all_ok,
     );
     std::fs::write("BENCH_core.json", &json)?;

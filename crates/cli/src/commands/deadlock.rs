@@ -1,0 +1,619 @@
+//! `ftclos deadlock <n> <m> <r> [--router R|all] [--fail-tops K]
+//! [--fail-links K] [--seed S] [--churn-links K --mtbf N --mttr N
+//! --churn-cycles N] [--inject] [--inject-cycles N] [--queue-capacity K]
+//! [--json]` — channel-dependency deadlock analysis (Dally–Seitz).
+//!
+//! Builds the channel-dependency graph of each routing scheme's full route
+//! set and runs the cycle check: an acyclic CDG *proves* the routing
+//! deadlock-free under any credit-based flow control; a cycle yields a
+//! deterministic witness (lowest cyclic channel, minimal length). The
+//! `valley` router is the in-tree counterexample the analyzer must catch.
+//!
+//! `--churn-links` replays a flapping-cable schedule and re-proves (or
+//! refutes) every distinct fault epoch the fabric passes through.
+//!
+//! `--inject` closes the loop dynamically: the witness cycle is attributed
+//! back to SD routes, those routes are pinned in the packet simulator under
+//! finite credits, and the run wedges — the drain phase gives up with
+//! packets stranded in the cycle's queues while packet conservation still
+//! holds. A control run over the same pairs with up*/down* `dmodk` routes
+//! drains clean, isolating the cycle as the cause.
+
+use super::common::build_ftree;
+use crate::opts::{CliError, Opts};
+use ftclos_core::cdg::{
+    cdg_of_masked_router_with, cdg_of_multipath_with, cdg_of_router_with, deadlock_sweep_with,
+    unique_churn_fault_sets,
+};
+use ftclos_core::churn::ChurnEvent;
+use ftclos_core::{attribute_witness, CycleAnalysis, DeadlockVerdict, SweepEntry, ValleyRouter};
+use ftclos_obs::{Recorder as _, Registry};
+use ftclos_routing::{DModK, SModK, SinglePathRouter, YuanDeterministic};
+use ftclos_sim::{run_pinned_injection_recorded, PinnedRoute, WitnessRun};
+use ftclos_topo::{ChannelId, FaultSet, FaultyView, Ftree};
+use ftclos_traffic::SdPair;
+use std::fmt::Write as _;
+
+/// A boxed path enumerator: feed every (live) route of a pair to `emit`,
+/// the closure shape `attribute_witness` consumes.
+type PathsOf<'a> = Box<dyn Fn(SdPair, &mut dyn FnMut(&[ChannelId])) + 'a>;
+
+/// Routers the deadlock analyzer accepts.
+pub const DEADLOCK_ROUTERS: &[&str] = &[
+    "yuan",
+    "dmodk",
+    "smodk",
+    "multipath",
+    "adaptive",
+    "valley",
+    "all",
+];
+
+/// Run the command.
+pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
+    let ft = build_ftree(opts)?;
+    let router: String = opts.flag_or("router", "all".to_string())?;
+    let fail_tops: usize = opts.flag_or("fail-tops", 0)?;
+    let fail_links: usize = opts.flag_or("fail-links", 0)?;
+    let seed: u64 = opts.flag_or("seed", 0)?;
+    let churn_links: usize = opts.flag_or("churn-links", 0)?;
+    let mtbf: u64 = opts.flag_or("mtbf", 400)?;
+    let mttr: u64 = opts.flag_or("mttr", 100)?;
+    let churn_cycles: u64 = opts.flag_or("churn-cycles", 2_000)?;
+    let inject: bool = opts.flag_or("inject", false)?;
+    let inject_cycles: u64 = opts.flag_or("inject-cycles", 200)?;
+    let queue_capacity: usize = opts.flag_or("queue-capacity", 2)?;
+    let json: bool = opts.flag_or("json", false)?;
+    if fail_tops > ft.m() {
+        return Err(CliError::Usage(format!(
+            "--fail-tops {fail_tops} exceeds the {} top switches",
+            ft.m()
+        )));
+    }
+    if !DEADLOCK_ROUTERS.contains(&router.as_str()) {
+        return Err(CliError::Usage(format!(
+            "unknown router `{router}` (one of {DEADLOCK_ROUTERS:?})"
+        )));
+    }
+
+    let mut faults = FaultSet::new();
+    for t in 0..fail_tops {
+        faults.fail_switch(ft.top(t));
+    }
+    if fail_links > 0 {
+        faults.merge(&FaultSet::random_links(ft.topology(), fail_links, seed));
+    }
+    let faulted = fail_tops > 0 || fail_links > 0;
+    let view = FaultyView::new(ft.topology(), &faults);
+    let view_opt = faulted.then_some(&view);
+
+    let entries = analyze(&ft, &router, view_opt, rec)?;
+    rec.gauge(
+        "deadlock.cyclic_routers",
+        entries.iter().filter(|e| !e.analysis.is_free()).count() as u64,
+    );
+
+    // Churn: re-prove every distinct fault epoch of a flapping schedule.
+    let mut churn_epochs: Vec<(usize, Vec<SweepEntry>)> = Vec::new();
+    if churn_links > 0 {
+        let _s = rec.span("deadlock.churn");
+        let schedule = ftclos_sim::ChurnSchedule::flapping_links(
+            ft.topology(),
+            churn_links,
+            mtbf,
+            mttr,
+            churn_cycles,
+            seed,
+        );
+        let events: Vec<ChurnEvent> = schedule
+            .sorted_events()
+            .iter()
+            .map(|e| ChurnEvent::new(e.cycle, e.channel, e.transition))
+            .collect();
+        for fs in unique_churn_fault_sets(&events, churn_cycles) {
+            let epoch_view = FaultyView::new(ft.topology(), &fs);
+            let dead = epoch_view.num_dead_channels();
+            let entries = analyze(&ft, &router, Some(&epoch_view), rec)?;
+            churn_epochs.push((dead, entries));
+        }
+    }
+
+    // Witness injection: reproduce the first cycle dynamically.
+    let mut injection = None;
+    if inject {
+        let Some(cyclic) = entries.iter().find(|e| !e.analysis.is_free()) else {
+            return Err(CliError::Failed(
+                "--inject needs a witness cycle, but every analyzed routing is deadlock-free \
+                 (try --router valley)"
+                    .to_string(),
+            ));
+        };
+        let DeadlockVerdict::Cyclic { witness } = &cyclic.analysis.verdict else {
+            unreachable!("cyclic entry has a witness");
+        };
+        let _s = rec.span("deadlock.inject");
+        let routes = witness_routes(&ft, cyclic.router, view_opt, witness);
+        if routes.is_empty() {
+            return Err(CliError::Failed(
+                "witness attribution found no realizing routes".to_string(),
+            ));
+        }
+        let run = run_pinned_injection_recorded(
+            ft.topology(),
+            &routes,
+            inject_cycles,
+            queue_capacity,
+            seed,
+            rec,
+        )
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+        // Control: the same pairs along up*/down* dmodk routes must drain.
+        let dmodk = DModK::new(&ft);
+        let control_routes: Vec<PinnedRoute> = routes
+            .iter()
+            .map(|r| {
+                let path = dmodk.route(SdPair::new(r.src, r.dst));
+                PinnedRoute::new(r.src, r.dst, path.channels().to_vec())
+            })
+            .collect();
+        let control = run_pinned_injection_recorded(
+            ft.topology(),
+            &control_routes,
+            inject_cycles,
+            queue_capacity,
+            seed,
+            rec,
+        )
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+        injection = Some((cyclic.router, run, control));
+    }
+
+    if json {
+        Ok(render_json(
+            &ft,
+            view.num_dead_channels(),
+            &entries,
+            &churn_epochs,
+            injection.as_ref(),
+        ))
+    } else {
+        Ok(render_text(
+            &ft,
+            faulted,
+            view.num_dead_channels(),
+            &entries,
+            &churn_epochs,
+            injection.as_ref(),
+        ))
+    }
+}
+
+/// Analyze one named router (or the whole sweep) against an optional fault
+/// overlay.
+fn analyze(
+    ft: &Ftree,
+    router: &str,
+    view: Option<&FaultyView>,
+    rec: &Registry,
+) -> Result<Vec<SweepEntry>, CliError> {
+    let topo = ft.topology();
+    let single = |name: &'static str, r: &(dyn SinglePathRouter + Sync)| -> Vec<SweepEntry> {
+        let g = match view {
+            None => cdg_of_router_with(topo, r, rec),
+            Some(v) => cdg_of_masked_router_with(r, v, rec),
+        };
+        vec![SweepEntry {
+            router: name,
+            analysis: g.check_with(rec),
+        }]
+    };
+    match router {
+        "all" => {
+            // The full roster, plus the valley counterexample so default
+            // output demonstrates both verdict shapes.
+            let mut entries = deadlock_sweep_with(ft, view, rec);
+            entries.extend(single("valley", &ValleyRouter::new(ft)));
+            Ok(entries)
+        }
+        "yuan" => {
+            let r = YuanDeterministic::new(ft).map_err(|e| CliError::Failed(e.to_string()))?;
+            Ok(single("yuan", &r))
+        }
+        "dmodk" => Ok(single("dmodk", &DModK::new(ft))),
+        "smodk" => Ok(single("smodk", &SModK::new(ft))),
+        "valley" => Ok(single("valley", &ValleyRouter::new(ft))),
+        "multipath" | "adaptive" => {
+            // The adaptive candidate set equals the multipath branch union
+            // (a sound over-approximation of every materializable plan).
+            let g = cdg_of_multipath_with(ft, view, rec);
+            Ok(vec![SweepEntry {
+                router: if router == "multipath" {
+                    "multipath"
+                } else {
+                    "adaptive"
+                },
+                analysis: g.check_with(rec),
+            }])
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown router `{other}` (one of {DEADLOCK_ROUTERS:?})"
+        ))),
+    }
+}
+
+/// Turn a witness cycle into pinned SD routes for the router that produced
+/// it. [`attribute_witness`] first proves every cycle edge is realized by a
+/// concrete route (the static claim); the *injection* set is then chosen
+/// per source — each source leaf pins the route that rides the most
+/// consecutive witness-cycle adjacencies — so the pinned traffic wraps the
+/// whole cycle and the credit wedge can close (a route per *edge* alone
+/// leaves most sources idle after per-source deduplication).
+fn witness_routes(
+    ft: &Ftree,
+    router: &str,
+    view: Option<&FaultyView>,
+    witness: &[ChannelId],
+) -> Vec<PinnedRoute> {
+    let alive = |path: &[ChannelId]| view.is_none_or(|v| v.path_alive(path).is_ok());
+    let yuan;
+    let dmodk;
+    let smodk;
+    let valley;
+    let mp;
+    let ports;
+    let paths_of: PathsOf<'_> = match router {
+        "multipath" | "adaptive" => {
+            mp = ftclos_routing::ObliviousMultipath::new(
+                ft,
+                ftclos_routing::SpreadPolicy::RoundRobin,
+            );
+            ports = mp.ports();
+            Box::new(move |pair, emit| {
+                let mut branches = mp.paths(pair);
+                branches.sort_unstable_by(|a, b| a.channels().cmp(b.channels()));
+                for p in &branches {
+                    if !p.channels().is_empty() && alive(p.channels()) {
+                        emit(p.channels());
+                    }
+                }
+            })
+        }
+        name => {
+            let r: &dyn SinglePathRouter = match name {
+                "yuan" => match YuanDeterministic::new(ft) {
+                    Ok(v) => {
+                        yuan = v;
+                        &yuan
+                    }
+                    Err(_) => return Vec::new(),
+                },
+                "dmodk" => {
+                    dmodk = DModK::new(ft);
+                    &dmodk
+                }
+                "smodk" => {
+                    smodk = SModK::new(ft);
+                    &smodk
+                }
+                _ => {
+                    valley = ValleyRouter::new(ft);
+                    &valley
+                }
+            };
+            ports = r.ports();
+            Box::new(move |pair, emit| {
+                let p = r.route(pair);
+                if !p.channels().is_empty() && alive(p.channels()) {
+                    emit(p.channels());
+                }
+            })
+        }
+    };
+    // Static guard: every edge of the cycle must be realized by some route.
+    let edges = attribute_witness(witness, ports, &paths_of);
+    if edges.len() != witness.len() {
+        return Vec::new();
+    }
+    // Per-source best cycle cover.
+    let k = witness.len();
+    let on_cycle: std::collections::HashSet<(ChannelId, ChannelId)> =
+        (0..k).map(|i| (witness[i], witness[(i + 1) % k])).collect();
+    let mut routes = Vec::new();
+    for s in 0..ports {
+        let mut best: Option<(usize, PinnedRoute)> = None;
+        for d in 0..ports {
+            if s == d {
+                continue;
+            }
+            paths_of(SdPair::new(s, d), &mut |path: &[ChannelId]| {
+                let cover = path
+                    .windows(2)
+                    .filter(|w| on_cycle.contains(&(w[0], w[1])))
+                    .count();
+                if cover > 0 && best.as_ref().is_none_or(|(c, _)| cover > *c) {
+                    best = Some((cover, PinnedRoute::new(s, d, path.to_vec())));
+                }
+            });
+        }
+        if let Some((_, r)) = best {
+            routes.push(r);
+        }
+    }
+    routes
+}
+
+fn describe(analysis: &CycleAnalysis) -> String {
+    match &analysis.verdict {
+        DeadlockVerdict::Free => format!(
+            "FREE ({} dependencies, {} valley turns)",
+            analysis.num_deps, analysis.valley_turns
+        ),
+        DeadlockVerdict::Cyclic { witness } => {
+            let cycle: Vec<String> = witness.iter().map(|c| c.to_string()).collect();
+            format!(
+                "CYCLIC ({} cyclic channels, {} dependencies) witness: {} -> {}",
+                analysis.cyclic_channels,
+                analysis.num_deps,
+                cycle.join(" -> "),
+                cycle[0]
+            )
+        }
+    }
+}
+
+fn render_text(
+    ft: &Ftree,
+    faulted: bool,
+    dead: usize,
+    entries: &[SweepEntry],
+    churn_epochs: &[(usize, Vec<SweepEntry>)],
+    injection: Option<&(&'static str, WitnessRun, WitnessRun)>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "deadlock analysis on ftree({}+{}, {}): {}",
+        ft.n(),
+        ft.m(),
+        ft.r(),
+        if faulted {
+            format!("{dead} dead channel(s)")
+        } else {
+            "pristine".to_string()
+        }
+    );
+    for e in entries {
+        let _ = writeln!(out, "  {:<9} {}", e.router, describe(&e.analysis));
+    }
+    for (i, (dead, entries)) in churn_epochs.iter().enumerate() {
+        let cyclic: Vec<&str> = entries
+            .iter()
+            .filter(|e| !e.analysis.is_free())
+            .map(|e| e.router)
+            .collect();
+        let _ = writeln!(
+            out,
+            "churn epoch set #{i} ({dead} dead): {}",
+            if cyclic.is_empty() {
+                format!("all {} router(s) deadlock-free", entries.len())
+            } else {
+                format!("CYCLIC for {}", cyclic.join(", "))
+            }
+        );
+    }
+    if let Some((router, run, control)) = injection {
+        let s = &run.stats;
+        let _ = writeln!(
+            out,
+            "witness injection ({router}): {} route(s) pinned -> {}",
+            run.pinned_pairs,
+            if run.wedged() {
+                format!(
+                    "WEDGED (credit stall): {} stranded of {} injected, {} delivered, \
+                     conservation {}",
+                    s.leftover_packets,
+                    s.injected_total,
+                    s.delivered_total,
+                    if run.conservation_ok() {
+                        "OK"
+                    } else {
+                        "BROKEN"
+                    }
+                )
+            } else {
+                format!(
+                    "drained ({} delivered of {} injected)",
+                    s.delivered_total, s.injected_total
+                )
+            }
+        );
+        let c = &control.stats;
+        let _ = writeln!(
+            out,
+            "control (dmodk, same pairs): {}",
+            if control.wedged() {
+                format!("WEDGED ({} stranded)", c.leftover_packets)
+            } else {
+                format!(
+                    "drained clean ({} delivered of {} injected, conservation {})",
+                    c.delivered_total,
+                    c.injected_total,
+                    if control.conservation_ok() {
+                        "OK"
+                    } else {
+                        "BROKEN"
+                    }
+                )
+            }
+        );
+    }
+    out
+}
+
+fn render_json(
+    ft: &Ftree,
+    dead: usize,
+    entries: &[SweepEntry],
+    churn_epochs: &[(usize, Vec<SweepEntry>)],
+    injection: Option<&(&'static str, WitnessRun, WitnessRun)>,
+) -> String {
+    let entry_json = |e: &SweepEntry| {
+        let witness = match &e.analysis.verdict {
+            DeadlockVerdict::Free => String::from("[]"),
+            DeadlockVerdict::Cyclic { witness } => {
+                let ids: Vec<String> = witness.iter().map(|c| c.index().to_string()).collect();
+                format!("[{}]", ids.join(","))
+            }
+        };
+        format!(
+            "{{\"router\":\"{}\",\"free\":{},\"num_deps\":{},\"valley_turns\":{},\
+             \"cyclic_channels\":{},\"witness\":{}}}",
+            e.router,
+            e.analysis.is_free(),
+            e.analysis.num_deps,
+            e.analysis.valley_turns,
+            e.analysis.cyclic_channels,
+            witness
+        )
+    };
+    let entries_json: Vec<String> = entries.iter().map(entry_json).collect();
+    let churn_json: Vec<String> = churn_epochs
+        .iter()
+        .map(|(dead, entries)| {
+            let inner: Vec<String> = entries.iter().map(entry_json).collect();
+            format!(
+                "{{\"dead_channels\":{dead},\"entries\":[{}]}}",
+                inner.join(",")
+            )
+        })
+        .collect();
+    let injection_json = match injection {
+        None => String::from("null"),
+        Some((router, run, control)) => {
+            let s = &run.stats;
+            let c = &control.stats;
+            format!(
+                "{{\"router\":\"{router}\",\"pinned\":{},\"wedged\":{},\"injected\":{},\
+                 \"delivered\":{},\"abandoned\":{},\"leftover\":{},\"conservation_ok\":{},\
+                 \"control_wedged\":{},\"control_delivered\":{},\"control_leftover\":{}}}",
+                run.pinned_pairs,
+                run.wedged(),
+                s.injected_total,
+                s.delivered_total,
+                s.abandoned_total,
+                s.leftover_packets,
+                run.conservation_ok(),
+                control.wedged(),
+                c.delivered_total,
+                c.leftover_packets
+            )
+        }
+    };
+    format!(
+        "{{\"fabric\":{{\"n\":{},\"m\":{},\"r\":{}}},\"dead_channels\":{dead},\
+         \"entries\":[{}],\"churn_epochs\":[{}],\"injection\":{}}}",
+        ft.n(),
+        ft.m(),
+        ft.r(),
+        entries_json.join(","),
+        churn_json.join(","),
+        injection_json
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Opts {
+        Opts::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn pristine_sweep_proves_freedom_and_catches_valley() {
+        let reg = Registry::new();
+        let out = run(&argv("2 4 5"), &reg).unwrap();
+        for router in ["yuan", "dmodk", "smodk", "multipath", "adaptive"] {
+            let line = out
+                .lines()
+                .find(|l| l.trim_start().starts_with(router))
+                .unwrap_or_else(|| panic!("no line for {router}: {out}"));
+            assert!(line.contains("FREE"), "{line}");
+            assert!(line.contains("0 valley turns"), "{line}");
+        }
+        assert!(out.contains("valley    CYCLIC"), "{out}");
+        assert!(out.contains("witness: c"), "{out}");
+        let snap = reg.snapshot();
+        for span in ["cdg.build", "cdg.scc"] {
+            assert!(snap.spans.iter().any(|s| s.path == span), "missing {span}");
+        }
+    }
+
+    #[test]
+    fn faulted_sweep_still_proves_freedom() {
+        let out = run(
+            &argv("2 4 5 --fail-tops 1 --fail-links 2 --seed 3"),
+            &Registry::new(),
+        )
+        .unwrap();
+        assert!(out.contains("dead channel(s)"), "{out}");
+        assert!(out.contains("dmodk     FREE"), "{out}");
+    }
+
+    #[test]
+    fn churn_epochs_are_all_free_for_dmodk() {
+        let out = run(
+            &argv("2 4 3 --router dmodk --churn-links 2 --mtbf 200 --mttr 60 --churn-cycles 800"),
+            &Registry::new(),
+        )
+        .unwrap();
+        assert!(out.contains("churn epoch set #0"), "{out}");
+        assert!(out.contains("deadlock-free"), "{out}");
+        assert!(!out.contains("CYCLIC for"), "{out}");
+    }
+
+    #[test]
+    fn injection_wedges_valley_and_control_drains() {
+        let reg = Registry::new();
+        let out = run(
+            &argv("1 1 4 --router valley --inject true --inject-cycles 200"),
+            &reg,
+        )
+        .unwrap();
+        assert!(out.contains("WEDGED (credit stall)"), "{out}");
+        assert!(out.contains("conservation OK"), "{out}");
+        assert!(
+            out.contains("control (dmodk, same pairs): drained clean"),
+            "{out}"
+        );
+        let snap = reg.snapshot();
+        assert!(snap.spans.iter().any(|s| s.path == "deadlock.inject"));
+    }
+
+    #[test]
+    fn inject_on_free_routing_is_an_error() {
+        assert!(run(&argv("2 4 5 --router yuan --inject true"), &Registry::new()).is_err());
+    }
+
+    #[test]
+    fn json_shape() {
+        let out = run(
+            &argv("1 1 4 --router valley --json true --inject true"),
+            &Registry::new(),
+        )
+        .unwrap();
+        assert!(out.starts_with('{'), "{out}");
+        assert!(
+            out.contains("\"router\":\"valley\",\"free\":false"),
+            "{out}"
+        );
+        assert!(out.contains("\"wedged\":true"), "{out}");
+        assert!(out.contains("\"conservation_ok\":true"), "{out}");
+        assert!(out.contains("\"control_wedged\":false"), "{out}");
+    }
+
+    #[test]
+    fn bad_router_rejected() {
+        assert!(run(&argv("2 4 5 --router bogus"), &Registry::new()).is_err());
+    }
+}

@@ -7,6 +7,7 @@ pub mod blocking;
 pub mod build;
 pub mod churn;
 pub mod common;
+pub mod deadlock;
 pub mod design;
 pub mod faults;
 pub mod flowsim;

@@ -16,6 +16,9 @@
 //!               [--samples N] [--seed S] [--target F --max-m M]
 //! ftclos flowsim <n> <m> <r> [--router R] [--pattern P] [--seed S] [--json]
 //!                [--fail-tops K] [--fail-links K]
+//! ftclos deadlock <n> <m> <r> [--router R|valley|all] [--fail-tops K]
+//!                 [--fail-links K] [--seed S] [--churn-links K] [--inject]
+//!                 [--json]
 //! ftclos stats <trace.json> [--folded]       summarize a `--trace` output
 //! ```
 //!
@@ -98,6 +101,10 @@ fn dispatch(cmd: &str, opts: &Opts, reg: &Registry) -> Result<String, CliError> 
             let _s = reg.span("cmd.churn");
             commands::churn::run(opts, reg)
         }
+        "deadlock" => {
+            let _s = reg.span("cmd.deadlock");
+            commands::deadlock::run(opts, reg)
+        }
         "flowsim" => {
             let _s = reg.span("cmd.flowsim");
             commands::flowsim::run(opts, reg)
@@ -113,7 +120,7 @@ fn dispatch(cmd: &str, opts: &Opts, reg: &Registry) -> Result<String, CliError> 
 /// Flags that are boolean switches: `--json` alone means `--json true`, so
 /// the value-taking [`Opts::parse`] grammar stays unchanged for everything
 /// else.
-const BARE_FLAGS: &[&str] = &["--json", "--folded"];
+const BARE_FLAGS: &[&str] = &["--json", "--folded", "--inject"];
 
 fn normalize_bare_flags(args: &[String]) -> Vec<String> {
     let mut out = Vec::with_capacity(args.len() + 1);
@@ -150,6 +157,10 @@ USAGE:
                 [--samples N] [--seed S] [--target F --max-m M]
   ftclos flowsim <n> <m> <r> [--router R] [--pattern P] [--seed S] [--json]
                  [--fail-tops K] [--fail-links K]
+  ftclos deadlock <n> <m> <r> [--router yuan|dmodk|smodk|multipath|adaptive|valley|all]
+                  [--fail-tops K] [--fail-links K] [--seed S]
+                  [--churn-links K --mtbf N --mttr N --churn-cycles N]
+                  [--inject] [--inject-cycles N] [--queue-capacity K] [--json]
   ftclos stats <trace.json> [--folded]
 
 Every command also accepts `--trace FILE` to write a span/counter trace

@@ -66,6 +66,25 @@ fn fluid_rates_are_thread_count_invariant() {
 }
 
 #[test]
+fn deadlock_verdicts_are_thread_count_invariant() {
+    // The CDG build fans path walks out over rayon; the dependency bitmap
+    // is a set union (order-independent), so verdicts, dependency counts,
+    // and the witness cycle must be byte-identical at any thread count.
+    assert_thread_invariant(&["deadlock", "2", "4", "5", "--json"]);
+    assert_thread_invariant(&["deadlock", "2", "4", "5", "--fail-tops", "1", "--seed", "3"]);
+}
+
+#[test]
+fn deadlock_witness_and_injection_are_thread_count_invariant() {
+    // The valley witness cycle (lowest cyclic channel, minimal length,
+    // ascending successor iteration) and the wedge statistics of the pinned
+    // injection run are both deterministic.
+    assert_thread_invariant(&[
+        "deadlock", "1", "1", "4", "--router", "valley", "--inject", "--json",
+    ]);
+}
+
+#[test]
 fn blocking_sample_fraction_is_thread_count_invariant() {
     assert_thread_invariant(&[
         "blocking",

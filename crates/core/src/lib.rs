@@ -37,6 +37,7 @@
 //! assert!(assignment.max_channel_load() <= 1); // nonblocking
 //! ```
 
+pub mod cdg;
 pub mod churn;
 pub mod circuit;
 pub mod construct;
@@ -49,6 +50,11 @@ pub mod search;
 pub mod verify;
 pub mod wide_sense;
 
+pub use cdg::{
+    attribute_witness, build_cdg, cdg_of_adaptive, cdg_of_assignment, cdg_of_masked_router,
+    cdg_of_multipath, cdg_of_paths, cdg_of_router, deadlock_sweep, unique_churn_fault_sets,
+    ChannelDependencyGraph, CycleAnalysis, DeadlockVerdict, SweepEntry, ValleyRouter, WitnessEdge,
+};
 pub use churn::{
     availability, min_m_for_availability, AvailabilityReport, ChurnEvent, EpochVerdict,
 };

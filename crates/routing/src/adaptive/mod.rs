@@ -263,8 +263,12 @@ impl<'a> NonblockingAdaptive<'a> {
     /// Materialize a plan onto the fabric.
     ///
     /// # Errors
-    /// [`RoutingError::NotEnoughTops`] when the plan needs more than `m`
-    /// top-level switches.
+    /// * [`RoutingError::NotEnoughTops`] when the plan needs more than `m`
+    ///   top-level switches,
+    /// * [`RoutingError::PortOutOfRange`] when the plan carries a pair this
+    ///   fabric has no leaves for (a plan built for a bigger fabric) — a
+    ///   typed error instead of an out-of-bounds panic in the channel
+    ///   accessors below.
     pub fn materialize(&self, plan: &AdaptivePlan) -> Result<RouteAssignment, RoutingError> {
         if plan.tops_needed() > self.ft.m() {
             return Err(RoutingError::NotEnoughTops {
@@ -272,6 +276,7 @@ impl<'a> NonblockingAdaptive<'a> {
                 available: self.ft.m(),
             });
         }
+        self.check_plan_ports(plan)?;
         let n = self.ft.n();
         let mut out = RouteAssignment::default();
         for &(pair, route) in plan.logical() {
@@ -463,6 +468,21 @@ impl<'a> NonblockingAdaptive<'a> {
         (0..self.ft.m()).any(|t| self.slot_alive(pair, t, view))
     }
 
+    /// Reject plans whose pairs reference ports this fabric does not have —
+    /// the materializers index `leaf_up_channel(src / n, src % n)` directly,
+    /// so a plan built for a bigger fabric must fail typed, not panic.
+    fn check_plan_ports(&self, plan: &AdaptivePlan) -> Result<(), RoutingError> {
+        let ports = self.ft.num_leaves() as u32;
+        for &(pair, _) in plan.logical() {
+            for port in [pair.src, pair.dst] {
+                if port >= ports {
+                    return Err(RoutingError::PortOutOfRange { port, ports });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materialize a plan onto the fabric, verifying every used channel
     /// against the fault overlay (each used top is checked individually —
     /// [`AdaptivePlan::tops_needed`] over-counts for masked plans, which may
@@ -471,6 +491,8 @@ impl<'a> NonblockingAdaptive<'a> {
     /// # Errors
     /// * [`RoutingError::NotEnoughTops`] when a route references a top
     ///   switch beyond `m`,
+    /// * [`RoutingError::PortOutOfRange`] when the plan carries a pair this
+    ///   fabric has no leaves for,
     /// * [`RoutingError::PathFaulted`] when a route crosses a dead channel
     ///   (never for plans produced by [`Self::plan_masked`] on this view).
     pub fn materialize_masked(
@@ -478,6 +500,7 @@ impl<'a> NonblockingAdaptive<'a> {
         plan: &AdaptivePlan,
         view: &FaultyView<'_>,
     ) -> Result<RouteAssignment, RoutingError> {
+        self.check_plan_ports(plan)?;
         let n = self.ft.n();
         let mut out = RouteAssignment::default();
         for &(pair, route) in plan.logical() {

@@ -61,6 +61,17 @@ pub enum SimError {
         /// What the engine expected and what it found.
         detail: String,
     },
+    /// A pinned route handed to [`crate::Policy::from_pinned`] is not a
+    /// walkable path of the topology for its pair (bad endpoint, dead
+    /// continuity, out-of-range channel, or a duplicate pair).
+    PinnedPath {
+        /// Source port of the offending route.
+        src: u32,
+        /// Destination port of the offending route.
+        dst: u32,
+        /// What made the route unusable.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -85,6 +96,12 @@ impl fmt::Display for SimError {
             SimError::Invariant { detail } => {
                 write!(f, "simulation invariant violated: {detail}")
             }
+            SimError::PinnedPath { src, dst, detail } => {
+                write!(
+                    f,
+                    "pinned route for pair ({src}, {dst}) is unusable: {detail}"
+                )
+            }
         }
     }
 }
@@ -93,7 +110,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Config(e) => Some(e),
-            SimError::Invariant { .. } => None,
+            SimError::Invariant { .. } | SimError::PinnedPath { .. } => None,
         }
     }
 }

@@ -46,6 +46,7 @@ pub mod error;
 pub mod fault;
 pub mod policy;
 pub mod stats;
+pub mod witness;
 pub mod workload;
 
 pub use batch::{sweep_injection_rates, sweep_injection_rates_isolated, ThroughputPoint};
@@ -56,4 +57,5 @@ pub use error::{ConfigError, SimError};
 pub use fault::{ChurnSchedule, FaultEvent, FaultSchedule};
 pub use policy::Policy;
 pub use stats::{SimStats, UtilizationHistogram};
+pub use witness::{run_pinned_injection, run_pinned_injection_recorded, PinnedRoute, WitnessRun};
 pub use workload::Workload;

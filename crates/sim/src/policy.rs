@@ -5,8 +5,9 @@
 //! happens **only at the source switch** — for `ftree(n+m, r)` that is the
 //! only place a fat-tree has any (paper Section V).
 
+use crate::error::SimError;
 use ftclos_routing::{ObliviousMultipath, RouteAssignment, SinglePathRouter};
-use ftclos_topo::ChannelId;
+use ftclos_topo::{ChannelId, NodeId, Topology};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -90,6 +91,67 @@ impl Policy {
             options.insert((pair.src, pair.dst), vec![arc]);
         }
         Self::from_options(options, Choice::Fixed)
+    }
+
+    /// Pin explicit `(src, dst, path)` routes — the witness-injection
+    /// entry point (see `crate::witness`): callers hand over raw channel
+    /// sequences (e.g. the paths attributing a CDG witness cycle), so every
+    /// route is validated against the topology instead of trusted.
+    ///
+    /// # Errors
+    /// [`SimError::PinnedPath`] when a route's source/destination is not a
+    /// leaf of the topology, a channel id is out of range, consecutive
+    /// channels do not share a node, the endpoints do not match the pair,
+    /// or the same pair is pinned twice.
+    pub fn from_pinned<'a, I>(topo: &Topology, routes: I) -> Result<Self, SimError>
+    where
+        I: IntoIterator<Item = (u32, u32, &'a [ChannelId])>,
+    {
+        let mut options = HashMap::new();
+        for (src, dst, channels) in routes {
+            let err = |detail: String| SimError::PinnedPath { src, dst, detail };
+            let leaf = |port: u32, role: &str| -> Result<NodeId, SimError> {
+                let node = NodeId(port);
+                if (port as usize) < topo.num_nodes() && topo.kind(node).is_leaf() {
+                    Ok(node)
+                } else {
+                    Err(err(format!("{role} port {port} is not a leaf node")))
+                }
+            };
+            let s = leaf(src, "source")?;
+            let d = leaf(dst, "destination")?;
+            if src == dst {
+                return Err(err("self pairs deliver instantly, nothing to pin".into()));
+            }
+            for &c in channels {
+                if c.index() >= topo.num_channels() {
+                    return Err(err(format!("channel {c} is out of range")));
+                }
+            }
+            let (Some(&first), Some(&last)) = (channels.first(), channels.last()) else {
+                return Err(err("pinned path is empty".into()));
+            };
+            if topo.channel(first).src != s {
+                return Err(err(format!(
+                    "first hop {first} does not leave the source leaf"
+                )));
+            }
+            if topo.channel(last).dst != d {
+                return Err(err(format!(
+                    "last hop {last} does not enter the destination leaf"
+                )));
+            }
+            for w in channels.windows(2) {
+                if topo.channel(w[0]).dst != topo.channel(w[1]).src {
+                    return Err(err(format!("hops {} -> {} are not adjacent", w[0], w[1])));
+                }
+            }
+            let arc: PathArc = channels.to_vec().into();
+            if options.insert((src, dst), vec![arc]).is_some() {
+                return Err(err("pair is pinned twice".into()));
+            }
+        }
+        Ok(Self::from_options(options, Choice::Fixed))
     }
 
     /// Oblivious multipath: all candidate paths per pair, spread per packet.
@@ -184,33 +246,44 @@ impl Policy {
             Choice::QueueAdaptive => {
                 // Shortest local uplink queue; ties broken uniformly at
                 // random (deterministic tie-breaks herd every switch onto
-                // the same low-index top and collapse throughput).
+                // the same low-index top and collapse throughput). One
+                // running-minimum pass over the (non-empty) live set — no
+                // fallback index can silently pick a masked-out candidate.
                 let occupancy = |p: &PathArc| {
                     // Same-switch candidates have 2 hops; uplink is index 1.
                     let probe = if p.len() >= 2 { p[1] } else { p[0] };
                     queue_len(probe)
                 };
-                let best = live
-                    .iter()
-                    .map(|&i| occupancy(&candidates[i]))
-                    .min()
-                    .unwrap_or(0);
-                let minima: Vec<usize> = live
-                    .iter()
-                    .copied()
-                    .filter(|&i| occupancy(&candidates[i]) == best)
-                    .collect();
+                let mut best = usize::MAX;
+                let mut minima: Vec<usize> = Vec::new();
+                for &i in &live {
+                    let occ = occupancy(&candidates[i]);
+                    if occ < best {
+                        best = occ;
+                        minima.clear();
+                    }
+                    if occ == best {
+                        minima.push(i);
+                    }
+                }
                 minima[rng.gen_range(0..minima.len())]
             }
-            Choice::QueueAdaptiveFirst => live
-                .iter()
-                .copied()
-                .min_by_key(|&i| {
-                    let p = &candidates[i];
+            Choice::QueueAdaptiveFirst => {
+                let occupancy = |p: &PathArc| {
                     let probe = if p.len() >= 2 { p[1] } else { p[0] };
-                    (queue_len(probe), i)
-                })
-                .unwrap_or(0),
+                    queue_len(probe)
+                };
+                let mut best_i = live[0];
+                let mut best = occupancy(&candidates[best_i]);
+                for &i in &live[1..] {
+                    let occ = occupancy(&candidates[i]);
+                    if occ < best {
+                        best = occ;
+                        best_i = i;
+                    }
+                }
+                best_i
+            }
         };
         Some(candidates[idx].clone())
     }
@@ -221,6 +294,7 @@ mod tests {
     use super::*;
     use ftclos_routing::{SpreadPolicy, YuanDeterministic};
     use ftclos_topo::Ftree;
+    use ftclos_traffic::SdPair;
     use rand::SeedableRng;
 
     fn rng() -> rand_chacha::ChaCha8Rng {
@@ -239,6 +313,62 @@ mod tests {
         assert_eq!(a.len(), 4);
         assert!(p.can_route(0, 0));
         assert_eq!(p.pick(0, 0, |_| 0, &mut g).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn from_pinned_replays_exact_routes() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let r05 = router.route(SdPair::new(0, 5)).channels().to_vec();
+        let r92 = router.route(SdPair::new(9, 2)).channels().to_vec();
+        let mut p = Policy::from_pinned(
+            ft.topology(),
+            [(0, 5, r05.as_slice()), (9, 2, r92.as_slice())],
+        )
+        .unwrap();
+        let mut g = rng();
+        assert_eq!(p.pick(0, 5, |_| 0, &mut g).unwrap().as_ref(), &r05[..]);
+        assert_eq!(p.pick(9, 2, |_| 0, &mut g).unwrap().as_ref(), &r92[..]);
+        assert!(!p.can_route(5, 0), "only pinned pairs are routable");
+    }
+
+    #[test]
+    fn from_pinned_rejects_malformed_routes() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let topo = ft.topology();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let good = router.route(SdPair::new(0, 5)).channels().to_vec();
+        let detail = |res: Result<Policy, SimError>| match res.unwrap_err() {
+            SimError::PinnedPath { detail, .. } => detail,
+            e => panic!("expected PinnedPath, got {e}"),
+        };
+        // Empty path.
+        let d = detail(Policy::from_pinned(topo, [(0, 5, &[][..])]));
+        assert!(d.contains("empty"), "{d}");
+        // Self pair.
+        let d = detail(Policy::from_pinned(topo, [(3, 3, good.as_slice())]));
+        assert!(d.contains("self"), "{d}");
+        // Source port that is not a leaf of this fabric.
+        let d = detail(Policy::from_pinned(topo, [(999, 5, good.as_slice())]));
+        assert!(d.contains("not a leaf"), "{d}");
+        // Endpoint mismatch: the route for (0, 5) pinned under pair (2, 5).
+        let d = detail(Policy::from_pinned(topo, [(2, 5, good.as_slice())]));
+        assert!(d.contains("source leaf"), "{d}");
+        // Discontinuity: drop a middle hop.
+        let mut broken = good.clone();
+        broken.remove(1);
+        let d = detail(Policy::from_pinned(topo, [(0, 5, broken.as_slice())]));
+        assert!(d.contains("adjacent"), "{d}");
+        // Out-of-range channel id.
+        let bogus = vec![ChannelId::INVALID];
+        let d = detail(Policy::from_pinned(topo, [(0, 5, bogus.as_slice())]));
+        assert!(d.contains("out of range"), "{d}");
+        // Duplicate pair.
+        let d = detail(Policy::from_pinned(
+            topo,
+            [(0, 5, good.as_slice()), (0, 5, good.as_slice())],
+        ));
+        assert!(d.contains("twice"), "{d}");
     }
 
     #[test]

@@ -38,6 +38,25 @@ impl Workload {
         }
     }
 
+    /// Fixed-pair traffic over an explicit pair list: each listed `(s, d)`
+    /// makes leaf `s` inject toward `d` at `rate`. A leaf has one injection
+    /// queue and one fixed destination, so on a duplicate source the
+    /// *first* pair wins (deterministic for witness-injection callers that
+    /// list one route per cycle edge).
+    pub fn fixed_pairs(ports: u32, pairs: &[(u32, u32)], rate: f64) -> Self {
+        let mut dest = vec![None; ports as usize];
+        for &(s, d) in pairs {
+            let slot = &mut dest[s as usize];
+            if slot.is_none() {
+                *slot = Some(d);
+            }
+        }
+        Self {
+            kind: WorkloadKind::Fixed(dest),
+            rate,
+        }
+    }
+
     /// Uniform-random traffic over `ports` leaves at `rate`.
     pub fn uniform_random(ports: u32, rate: f64) -> Self {
         Self {

@@ -74,6 +74,35 @@ fn churn_output_is_stable() {
     );
 }
 
+/// The full deadlock sweep, pristine: every production router proved FREE
+/// and the valley straw-man caught CYCLIC with its deterministic witness.
+#[test]
+fn deadlock_sweep_text_is_stable() {
+    assert_matches_golden("deadlock_2_4_5.txt", &cli("deadlock 2 4 5"));
+}
+
+/// The valley witness-injection run, JSON: the witness cycle, the
+/// dependency counts, and the wedge statistics (stranded / delivered /
+/// conservation, plus the clean-draining control) are all deterministic.
+#[test]
+fn deadlock_witness_injection_json_is_stable() {
+    assert_matches_golden(
+        "deadlock_valley_inject.json",
+        &cli("deadlock 1 1 4 --router valley --inject true --json"),
+    );
+}
+
+/// A seeded *faulted* witness: a dead link thins the valley CDG (fewer
+/// dependencies than pristine) but the residual cycle — and its
+/// deterministic witness — survives.
+#[test]
+fn deadlock_faulted_witness_text_is_stable() {
+    assert_matches_golden(
+        "deadlock_valley_faulted.txt",
+        &cli("deadlock 1 1 4 --router valley --fail-links 1 --seed 7"),
+    );
+}
+
 /// The `--trace` JSON, with every `*_ns` field zeroed: the span tree
 /// (paths, nesting, counts), counters, and gauges must not drift silently.
 #[test]

@@ -15,9 +15,10 @@
 
 use ftclos::core::degraded::deterministic_degradation;
 use ftclos::core::verify::is_nonblocking_deterministic;
+use ftclos::core::{cdg_of_masked_router, cdg_of_router, ValleyRouter};
 use ftclos::flowsim::{waterfill, FlowSet};
 use ftclos::routing::{DModK, Path, SinglePathRouter, YuanDeterministic};
-use ftclos::topo::{ChannelCapacities, FaultSet, FaultyView, Ftree};
+use ftclos::topo::{ChannelCapacities, ChannelId, FaultSet, FaultyView, Ftree};
 use ftclos::traffic::{patterns, SdPair};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -125,6 +126,80 @@ proptest! {
         prop_assert!(pristine.routable_pairs() >= deg_a.routable_pairs());
     }
 
+    /// Failing more hardware can only *silence* routed paths, so the
+    /// channel-dependency graph is edge-antitone in the fault set: every
+    /// dependency present under faults A ∪ B is present under A, and every
+    /// dependency under A is present pristine. (Corollary: an up*/down*
+    /// router that is deadlock-free pristine stays deadlock-free under
+    /// every fault set.)
+    #[test]
+    fn fault_superset_never_adds_cdg_edges(
+        n in 1usize..4, m in 1usize..6, r in 2usize..6,
+        base_links in 0usize..4, extra_links in 0usize..4,
+        extra_tops in 0usize..2, seed in 0u64..500,
+    ) {
+        let ft = Ftree::new(n, m, r).unwrap();
+        let router = DModK::new(&ft);
+        let topo = ft.topology();
+        // Seed-determinism again: building A twice equals cloning it.
+        let faults_a = FaultSet::random_links(topo, base_links, seed);
+        let mut faults_b = FaultSet::random_links(topo, base_links, seed);
+        faults_b.merge(&FaultSet::random_links(topo, extra_links, seed ^ 0x5EED));
+        faults_b.merge(&FaultSet::random_top_switches(topo, extra_tops, seed ^ 0x70B5));
+
+        let pristine = cdg_of_router(topo, &router);
+        let cdg_a = cdg_of_masked_router(&router, &FaultyView::new(topo, &faults_a));
+        let cdg_b = cdg_of_masked_router(&router, &FaultyView::new(topo, &faults_b));
+        // Non-vacuous: the pristine fabric always records dependencies
+        // (every cross-leaf pair contributes at least leaf-up -> up).
+        prop_assert!(pristine.num_deps() > 0, "pristine CDG has no edges");
+        prop_assert!(cdg_a.num_deps() <= pristine.num_deps());
+        prop_assert!(cdg_b.num_deps() <= cdg_a.num_deps());
+        for c in 0..topo.num_channels() {
+            let a = ChannelId(c as u32);
+            for b in cdg_b.successors(a) {
+                prop_assert!(
+                    cdg_a.has_dep(a, b),
+                    "faults ADDED dependency {a} -> {b} (A: {} links, B: +{} links +{} tops)",
+                    base_links, extra_links, extra_tops
+                );
+            }
+            for b in cdg_a.successors(a) {
+                prop_assert!(
+                    pristine.has_dep(a, b),
+                    "masked CDG has edge {a} -> {b} absent pristine"
+                );
+            }
+        }
+        // Antitone edges mean deadlock-freedom survives any fault set here.
+        prop_assert!(pristine.check().is_free());
+        prop_assert!(cdg_b.check().is_free());
+    }
+
+    /// Renaming hosts bijects the SD universe onto itself, so a relabeled
+    /// router produces the *same path multiset* — hence the identical
+    /// channel-dependency graph, verdict, and (being deterministically
+    /// extracted from the graph alone) the identical witness cycle.
+    #[test]
+    fn relabeling_preserves_deadlock_verdict(
+        n in 1usize..4, m in 1usize..6, r in 2usize..6, seed in 0u64..500,
+    ) {
+        let ft = Ftree::new(n, m, r).unwrap();
+        let router = DModK::new(&ft);
+        let relabel = random_relabeling((n * r) as u32, seed);
+        let relabeled = Relabeled { inner: &router, relabel: &relabel };
+        let base = cdg_of_router(ft.topology(), &router);
+        let perm = cdg_of_router(ft.topology(), &relabeled);
+        prop_assert_eq!(base.num_deps(), perm.num_deps());
+        for c in 0..ft.topology().num_channels() {
+            let a = ChannelId(c as u32);
+            let lhs: Vec<ChannelId> = base.successors(a).collect();
+            let rhs: Vec<ChannelId> = perm.successors(a).collect();
+            prop_assert_eq!(lhs, rhs, "successor set of {} changed", a);
+        }
+        prop_assert_eq!(base.check(), perm.check());
+    }
+
     /// Scale every capacity by `c`: when no baseline flow was demand-capped
     /// (all rates < 1), every max-min rate scales by exactly `c`.
     #[test]
@@ -196,5 +271,29 @@ fn relabeling_cannot_unblock_an_undersized_fabric() {
             !is_nonblocking_deterministic(&relabeled),
             "relabeling {relabel:?} must not hide the blocking pair"
         );
+    }
+}
+
+/// Non-vacuity pin for the deadlock-verdict invariance: the proptest only
+/// ever sees acyclic d-mod-k CDGs, so exercise the *cyclic* branch here —
+/// the valley router's witness cycle must survive every relabeling
+/// byte-identically (the path multiset, and with it the CDG, is unchanged).
+#[test]
+fn relabeling_preserves_a_cyclic_witness() {
+    let ft = Ftree::new(1, 1, 4).unwrap();
+    let valley = ValleyRouter::new(&ft);
+    let base = cdg_of_router(ft.topology(), &valley).check();
+    assert!(!base.is_free(), "valley on r=4 must be cyclic");
+    let witness = base.verdict.witness().unwrap().to_vec();
+    assert!(!witness.is_empty());
+    for seed in 0..8 {
+        let relabel = random_relabeling(4, seed);
+        let relabeled = Relabeled {
+            inner: &valley,
+            relabel: &relabel,
+        };
+        let got = cdg_of_router(ft.topology(), &relabeled).check();
+        assert_eq!(base, got, "verdict changed under relabeling {relabel:?}");
+        assert_eq!(got.verdict.witness().unwrap(), &witness[..]);
     }
 }
