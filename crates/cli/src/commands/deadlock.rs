@@ -248,7 +248,7 @@ fn analyze(
 /// consecutive witness-cycle adjacencies — so the pinned traffic wraps the
 /// whole cycle and the credit wedge can close (a route per *edge* alone
 /// leaves most sources idle after per-source deduplication).
-fn witness_routes(
+pub(crate) fn witness_routes(
     ft: &Ftree,
     router: &str,
     view: Option<&FaultyView>,

@@ -5,6 +5,7 @@
 
 pub mod blocking;
 pub mod build;
+pub mod campaign;
 pub mod churn;
 pub mod common;
 pub mod deadlock;

@@ -19,6 +19,9 @@
 //! ftclos deadlock <n> <m> <r> [--router R|valley|all] [--fail-tops K]
 //!                 [--fail-links K] [--seed S] [--churn-links K] [--inject]
 //!                 [--json]
+//! ftclos campaign <n> <m> <r> [--property P] [--mode random|exhaustive]
+//!                 [--k K] [--waves N] [--shrink] [--checkpoint FILE]
+//!                 [--resume] [--confirm] [--json]
 //! ftclos stats <trace.json> [--folded]       summarize a `--trace` output
 //! ```
 //!
@@ -105,6 +108,10 @@ fn dispatch(cmd: &str, opts: &Opts, reg: &Registry) -> Result<String, CliError> 
             let _s = reg.span("cmd.deadlock");
             commands::deadlock::run(opts, reg)
         }
+        "campaign" => {
+            let _s = reg.span("cmd.campaign");
+            commands::campaign::run(opts, reg)
+        }
         "flowsim" => {
             let _s = reg.span("cmd.flowsim");
             commands::flowsim::run(opts, reg)
@@ -120,7 +127,14 @@ fn dispatch(cmd: &str, opts: &Opts, reg: &Registry) -> Result<String, CliError> 
 /// Flags that are boolean switches: `--json` alone means `--json true`, so
 /// the value-taking [`Opts::parse`] grammar stays unchanged for everything
 /// else.
-const BARE_FLAGS: &[&str] = &["--json", "--folded", "--inject"];
+const BARE_FLAGS: &[&str] = &[
+    "--json",
+    "--folded",
+    "--inject",
+    "--shrink",
+    "--resume",
+    "--confirm",
+];
 
 fn normalize_bare_flags(args: &[String]) -> Vec<String> {
     let mut out = Vec::with_capacity(args.len() + 1);
@@ -161,6 +175,13 @@ USAGE:
                   [--fail-tops K] [--fail-links K] [--seed S]
                   [--churn-links K --mtbf N --mttr N --churn-cycles N]
                   [--inject] [--inject-cycles N] [--queue-capacity K] [--json]
+  ftclos campaign <n> <m> <r> [--property routability|deterministic|nonblocking|deadlock]
+                  [--mode random|exhaustive] [--k K] [--universe tops|links|mixed]
+                  [--waves N] [--wave-size N] [--links K] [--switches K]
+                  [--samples N] [--router yuan|dmodk|smodk|valley] [--seed S]
+                  [--shrink] [--checkpoint FILE] [--resume] [--halt-after N]
+                  [--confirm] [--confirm-cycles N] [--watchdog N]
+                  [--queue-capacity K] [--json]
   ftclos stats <trace.json> [--folded]
 
 Every command also accepts `--trace FILE` to write a span/counter trace

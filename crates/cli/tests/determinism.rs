@@ -97,3 +97,85 @@ fn blocking_sample_fraction_is_thread_count_invariant() {
         "40",
     ]);
 }
+
+#[test]
+fn campaign_reports_are_thread_count_invariant() {
+    // Randomized waves fan judgements and shrinks over rayon; per-set RNG
+    // streams are keyed by (seed, wave, index) alone, so the report —
+    // killer order, minimal cores, criticality ranking — is schedule-free.
+    assert_thread_invariant(&[
+        "campaign",
+        "2",
+        "4",
+        "5",
+        "--waves",
+        "4",
+        "--wave-size",
+        "6",
+        "--seed",
+        "7",
+        "--shrink",
+        "--json",
+    ]);
+    // Exhaustive mode must report the lexicographically-first killer no
+    // matter which parallel partition finds one first.
+    assert_thread_invariant(&[
+        "campaign",
+        "2",
+        "4",
+        "5",
+        "--mode",
+        "exhaustive",
+        "--k",
+        "2",
+        "--universe",
+        "mixed",
+    ]);
+}
+
+#[test]
+fn campaign_checkpoint_resume_matches_uninterrupted_at_any_thread_count() {
+    // Halting after 2 of 4 waves, then resuming from the checkpoint file,
+    // must reproduce the uninterrupted report byte-for-byte — and the
+    // uninterrupted report itself must not depend on the thread count.
+    let base = [
+        "campaign",
+        "2",
+        "4",
+        "5",
+        "--waves",
+        "4",
+        "--wave-size",
+        "6",
+        "--links",
+        "2",
+        "--switches",
+        "1",
+        "--seed",
+        "11",
+        "--shrink",
+    ];
+    let reference = run_with_threads(&base, "1");
+    for threads in ["1", "2", "8"] {
+        assert_eq!(
+            reference,
+            run_with_threads(&base, threads),
+            "uninterrupted campaign diverged at {threads} threads"
+        );
+        let ckpt = std::env::temp_dir().join(format!("ftclos_campaign_ckpt_{threads}.txt"));
+        let ckpt = ckpt.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(ckpt);
+        let mut halted = base.to_vec();
+        halted.extend(["--checkpoint", ckpt, "--halt-after", "2"]);
+        let partial = run_with_threads(&halted, threads);
+        assert_ne!(reference, partial, "halt-after must stop early");
+        let mut resumed = base.to_vec();
+        resumed.extend(["--checkpoint", ckpt, "--resume"]);
+        assert_eq!(
+            reference,
+            run_with_threads(&resumed, threads),
+            "checkpoint resume diverged at {threads} threads"
+        );
+        let _ = std::fs::remove_file(ckpt);
+    }
+}

@@ -37,6 +37,7 @@
 //! assert!(assignment.max_channel_load() <= 1); // nonblocking
 //! ```
 
+pub mod campaign;
 pub mod cdg;
 pub mod churn;
 pub mod circuit;
@@ -50,6 +51,13 @@ pub mod search;
 pub mod verify;
 pub mod wide_sense;
 
+pub use campaign::{
+    cable_universe, certify_exhaustive, certify_exhaustive_with, run_randomized,
+    run_randomized_with, shrink, top_switch_universe, AdaptiveRoutability, ArenaRoutability,
+    CampaignConfig, CampaignError, CampaignProperty, CampaignReport, Certificate, Criticality,
+    DeadlockFreedom, FaultElement, FaultVector, Judgement, Killer, KillerRecord, NonblockingMargin,
+    Shrunk,
+};
 pub use cdg::{
     attribute_witness, build_cdg, cdg_of_adaptive, cdg_of_assignment, cdg_of_masked_router,
     cdg_of_multipath, cdg_of_paths, cdg_of_router, deadlock_sweep, unique_churn_fault_sets,

@@ -32,6 +32,14 @@ pub enum FlowError {
         /// The offending weight.
         weight: f64,
     },
+    /// A capacity map covers fewer channels than the flow set references
+    /// (the two were built from different topologies).
+    CapacityMismatch {
+        /// Channels covered by the capacity map.
+        caps: usize,
+        /// Channels the flow set references.
+        needed: usize,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -48,6 +56,10 @@ impl fmt::Display for FlowError {
             FlowError::BadWeight { pair, weight } => {
                 write!(f, "flow {pair} carries invalid link weight {weight}")
             }
+            FlowError::CapacityMismatch { caps, needed } => write!(
+                f,
+                "capacity map covers {caps} channels, flow set needs {needed}"
+            ),
         }
     }
 }

@@ -44,4 +44,6 @@ pub use report::FluidReport;
 pub use sweep::{
     solve_pattern, solve_pattern_with, standard_suite, sweep_patterns, sweep_patterns_with,
 };
-pub use waterfill::{waterfill, waterfill_unit, waterfill_with, FluidAllocation};
+pub use waterfill::{
+    try_waterfill, try_waterfill_with, waterfill, waterfill_unit, waterfill_with, FluidAllocation,
+};

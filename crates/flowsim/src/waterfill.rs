@@ -21,7 +21,7 @@
 //! parallel min-reduction is over `(level, channel id)` pairs with the
 //! lower id winning ties, so the result is independent of thread count.
 
-use crate::flows::FlowSet;
+use crate::flows::{FlowError, FlowSet};
 pub use ftclos_obs::{Noop, Recorder};
 use ftclos_topo::ChannelCapacities;
 use rayon::prelude::*;
@@ -100,7 +100,9 @@ impl FluidAllocation {
 ///
 /// # Panics
 /// Panics if `caps` covers fewer channels than the flow set references
-/// (build both from the same topology).
+/// (build both from the same topology). Fault-campaign code paths, where
+/// the capacity map may be derived from attacker-chosen fault sets, should
+/// use [`try_waterfill`] instead.
 pub fn waterfill(flows: &FlowSet, caps: &ChannelCapacities) -> FluidAllocation {
     waterfill_with(flows, caps, &Noop)
 }
@@ -119,13 +121,42 @@ pub fn waterfill_with<R: Recorder>(
     caps: &ChannelCapacities,
     rec: &R,
 ) -> FluidAllocation {
+    match try_waterfill_with(flows, caps, rec) {
+        Ok(alloc) => alloc,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`waterfill`]: rejects a capacity map that covers fewer
+/// channels than the flow set references with
+/// [`FlowError::CapacityMismatch`] instead of panicking.
+///
+/// # Errors
+/// [`FlowError::CapacityMismatch`] when `caps.len() <
+/// flows.num_channels()`.
+pub fn try_waterfill(
+    flows: &FlowSet,
+    caps: &ChannelCapacities,
+) -> Result<FluidAllocation, FlowError> {
+    try_waterfill_with(flows, caps, &Noop)
+}
+
+/// [`try_waterfill`] with instrumentation (see [`waterfill_with`]).
+///
+/// # Errors
+/// Same as [`try_waterfill`].
+pub fn try_waterfill_with<R: Recorder>(
+    flows: &FlowSet,
+    caps: &ChannelCapacities,
+    rec: &R,
+) -> Result<FluidAllocation, FlowError> {
     let _span = rec.span("flowsim.waterfill");
-    assert!(
-        caps.len() >= flows.num_channels(),
-        "capacity map covers {} channels, flow set needs {}",
-        caps.len(),
-        flows.num_channels()
-    );
+    if caps.len() < flows.num_channels() {
+        return Err(FlowError::CapacityMismatch {
+            caps: caps.len(),
+            needed: flows.num_channels(),
+        });
+    }
     let nf = flows.num_flows();
     let nc = flows.num_channels();
     let mut rates = vec![f64::NAN; nf];
@@ -240,11 +271,11 @@ pub fn waterfill_with<R: Recorder>(
         }
     }
     rec.add("flowsim.rounds", rounds as u64);
-    FluidAllocation {
+    Ok(FluidAllocation {
         rates,
         link_load,
         rounds,
-    }
+    })
 }
 
 /// Water-filling against the paper's homogeneous unit-capacity fabric.
@@ -402,6 +433,26 @@ mod tests {
             .count();
         assert_eq!(snap.counter("flowsim.fill_events"), Some(networked as u64));
         assert!(snap.spans.iter().any(|s| s.path == "flowsim.waterfill"));
+    }
+
+    #[test]
+    fn short_capacity_map_is_a_typed_error() {
+        use crate::flows::FlowError;
+        use ftclos_routing::FlowLinks;
+        use ftclos_topo::ChannelId;
+        let flows = [FlowLinks::single_path(
+            SdPair::new(0, 1),
+            &[ChannelId(0), ChannelId(3)],
+        )];
+        let set = FlowSet::from_flows(&flows, 4).unwrap();
+        let caps = ChannelCapacities::dense_uniform(2, 1.0);
+        assert_eq!(
+            try_waterfill(&set, &caps),
+            Err(FlowError::CapacityMismatch { caps: 2, needed: 4 })
+        );
+        // A covering map succeeds through the fallible entry point too.
+        let caps = ChannelCapacities::dense_uniform(4, 1.0);
+        assert!(try_waterfill(&set, &caps).unwrap().all_unit_rate());
     }
 
     #[test]

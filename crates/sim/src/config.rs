@@ -58,6 +58,16 @@ pub struct SimConfig {
     /// Maximum retransmissions per packet when `retry` is on; once
     /// exhausted the packet is abandoned (`SimStats::abandoned_total`).
     pub retry_limit: u32,
+    /// Bounded-progress stall watchdog: if, for this many *consecutive*
+    /// cycles, packets are in flight but nothing is delivered, abandoned,
+    /// retired, or moved across any channel, the run aborts with
+    /// [`crate::SimError::Stalled`] carrying the strand graph (blocked
+    /// packets, the channels they wait on, and the credit wait-for cycle if
+    /// one exists) instead of spinning to the drain cap. `0` disables the
+    /// watchdog (the default). Must exceed `packet_flits` — multi-flit
+    /// serialization legitimately pauses all movement for `packet_flits - 1`
+    /// cycles.
+    pub stall_watchdog: u64,
 }
 
 impl Default for SimConfig {
@@ -73,6 +83,7 @@ impl Default for SimConfig {
             ttl_cycles: 0,
             retry: false,
             retry_limit: 0,
+            stall_watchdog: 0,
         }
     }
 }
@@ -110,6 +121,9 @@ impl SimConfig {
         }
         if self.retry && self.ttl_cycles == 0 {
             return Err(ConfigError::RetryWithoutTimeout);
+        }
+        if self.stall_watchdog > 0 && self.stall_watchdog <= self.packet_flits {
+            return Err(ConfigError::WatchdogTooShort);
         }
         Ok(())
     }
@@ -174,6 +188,22 @@ mod tests {
             retry: true,
             retry_limit: 3,
             ttl_cycles: 64,
+            ..base
+        }
+        .validate()
+        .unwrap();
+        assert_eq!(
+            SimConfig {
+                stall_watchdog: 4,
+                packet_flits: 4,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::WatchdogTooShort)
+        );
+        SimConfig {
+            stall_watchdog: 5,
+            packet_flits: 4,
             ..base
         }
         .validate()

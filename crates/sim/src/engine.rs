@@ -2,7 +2,7 @@
 
 use crate::churn::{build_report, ChurnConfig, ChurnReport, EpochMark};
 use crate::config::{Arbiter, SimConfig};
-use crate::error::SimError;
+use crate::error::{SimError, StallReport, Strand};
 use crate::fault::{ChurnSchedule, FaultSchedule};
 use crate::policy::Policy;
 use crate::stats::SimStats;
@@ -264,6 +264,15 @@ impl<'a> Simulator<'a> {
         let warmup = self.cfg.warmup_cycles;
         let total = self.cfg.total_cycles();
 
+        // Stall watchdog: `moves` counts successful channel grants; the
+        // signature below changes whenever anything is delivered, dropped,
+        // retried, or moved. If it freezes for `stall_watchdog` consecutive
+        // cycles while packets are in flight, the network is wedged.
+        let watchdog = self.cfg.stall_watchdog;
+        let mut moves = 0u64;
+        let mut frozen_cycles = 0u64;
+        let mut last_signature = (u64::MAX, 0u64, 0u64, 0u64);
+
         let mut now = 0u64;
         loop {
             if now >= total {
@@ -462,6 +471,7 @@ impl<'a> Simulator<'a> {
                         &mut busy_until,
                         &mut stats,
                         &mut window_latencies,
+                        &mut moves,
                     )?;
                 }
             }
@@ -509,6 +519,7 @@ impl<'a> Simulator<'a> {
                                     &mut busy_until,
                                     &mut stats,
                                     &mut window_latencies,
+                                    &mut moves,
                                 )?;
                                 break;
                             }
@@ -530,6 +541,7 @@ impl<'a> Simulator<'a> {
                             &mut accept_ptr,
                             &mut stats,
                             &mut window_latencies,
+                            &mut moves,
                         )?;
                     }
                 }
@@ -537,6 +549,27 @@ impl<'a> Simulator<'a> {
             if churn.is_some() {
                 delivered_per_cycle.push((stats.delivered_total - delivered_seen) as u32);
                 delivered_seen = stats.delivered_total;
+            }
+            if watchdog > 0 {
+                let in_flight =
+                    stats.injected_total - stats.delivered_total - stats.abandoned_total;
+                let signature = (
+                    moves,
+                    stats.delivered_total,
+                    stats.abandoned_total,
+                    stats.retries_total,
+                );
+                if in_flight > 0 && signature == last_signature {
+                    frozen_cycles += 1;
+                    if frozen_cycles >= watchdog {
+                        return Err(SimError::Stalled(stall_report(
+                            now, in_flight, &queues, &inject,
+                        )));
+                    }
+                } else {
+                    frozen_cycles = 0;
+                    last_signature = signature;
+                }
             }
             now += 1;
         }
@@ -594,9 +627,11 @@ impl<'a> Simulator<'a> {
         busy_until: &mut [u64],
         stats: &mut SimStats,
         window_latencies: &mut Vec<u64>,
+        moves: &mut u64,
     ) -> Result<(), SimError> {
         let ch = self.topo.channel(ChannelId(o as u32));
         let to_leaf = self.topo.kind(ch.dst).is_leaf();
+        *moves += 1;
         p.hop += 1;
         // The wire serializes `flits` flits; the packet cannot be forwarded
         // again (cut-through is not modeled) until the tail flit arrives.
@@ -655,6 +690,7 @@ impl<'a> Simulator<'a> {
         accept_ptr: &mut [u32],
         stats: &mut SimStats,
         window_latencies: &mut Vec<u64>,
+        moves: &mut u64,
     ) -> Result<(), SimError> {
         let inputs = self.topo.in_channels(sw);
         let outputs = self.topo.out_channels(sw);
@@ -763,10 +799,105 @@ impl<'a> Simulator<'a> {
                 busy_until,
                 stats,
                 window_latencies,
+                moves,
             )?;
         }
         Ok(())
     }
+}
+
+/// Build the watchdog's diagnosis from the frozen queue state: one
+/// [`Strand`] per blocked queue head (channel queues by ascending id, then
+/// injection queues by slot) and the credit wait-for cycle among held
+/// channels, if one exists.
+fn stall_report(
+    cycle: u64,
+    in_flight: u64,
+    queues: &[VecDeque<Packet>],
+    inject: &[VecDeque<Packet>],
+) -> StallReport {
+    let mut strands = Vec::new();
+    // Functional wait-for graph over channels: `waits[c]` is the channel
+    // the head packet of `queues[c]` needs next (`None` when empty).
+    let mut waits: Vec<Option<ChannelId>> = vec![None; queues.len()];
+    for (c, q) in queues.iter().enumerate() {
+        let Some(p) = q.front() else { continue };
+        if p.hop >= p.path.len() {
+            continue; // defensive: delivered packets never sit in queues
+        }
+        let next = p.path[p.hop];
+        strands.push(Strand {
+            src: p.src,
+            dst: p.dst,
+            holds: Some(ChannelId(c as u32)),
+            waits_for: next,
+            queued: q.len(),
+        });
+        waits[c] = Some(next);
+    }
+    for q in inject {
+        let Some(p) = q.front() else { continue };
+        if p.hop >= p.path.len() {
+            continue;
+        }
+        strands.push(Strand {
+            src: p.src,
+            dst: p.dst,
+            holds: None,
+            waits_for: p.path[p.hop],
+            queued: q.len(),
+        });
+    }
+    StallReport {
+        cycle,
+        in_flight,
+        strands,
+        wait_cycle: find_wait_cycle(&waits),
+    }
+}
+
+/// First cycle of the functional graph `waits`, walking from the lowest
+/// channel id; rotated to start at its smallest member. Deterministic:
+/// no iteration order depends on anything but channel ids.
+fn find_wait_cycle(waits: &[Option<ChannelId>]) -> Vec<ChannelId> {
+    // 0 = unvisited, 1 = on the current walk, 2 = exhausted.
+    let mut color = vec![0u8; waits.len()];
+    for start in 0..waits.len() {
+        if color[start] != 0 || waits[start].is_none() {
+            continue;
+        }
+        let mut walk: Vec<usize> = Vec::new();
+        let mut cur = start;
+        loop {
+            color[cur] = 1;
+            walk.push(cur);
+            let Some(next) = waits[cur] else { break };
+            let next = next.index();
+            if next >= waits.len() || color[next] == 2 {
+                break;
+            }
+            if color[next] == 1 {
+                // Found a cycle: the walk tail from `next`'s position.
+                let pos = walk.iter().position(|&c| c == next).unwrap_or(0);
+                let mut cycle: Vec<ChannelId> =
+                    walk[pos..].iter().map(|&c| ChannelId(c as u32)).collect();
+                if let Some(min_pos) = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| c.0)
+                    .map(|(i, _)| i)
+                {
+                    cycle.rotate_left(min_pos);
+                }
+                return cycle;
+            }
+            cur = next;
+        }
+        for c in walk {
+            color[c] = 2;
+        }
+    }
+    Vec::new()
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
-//! Typed errors for the simulator: configuration rejection and structured
+//! Typed errors for the simulator: configuration rejection, structured
 //! engine-invariant violations (instead of `expect`-style panics that take
-//! down a whole batch run).
+//! down a whole batch run), and the stall-watchdog diagnosis.
 
+use ftclos_topo::ChannelId;
 use std::fmt;
 
 /// A [`crate::SimConfig`] the engine cannot execute meaningfully.
@@ -18,6 +19,11 @@ pub enum ConfigError {
     /// `retry == true` with `ttl_cycles == 0`: retransmission triggers on
     /// timeout, so retries without a TTL never fire.
     RetryWithoutTimeout,
+    /// `stall_watchdog` enabled but not larger than `packet_flits`:
+    /// multi-flit serialization legitimately pauses all movement for
+    /// `packet_flits - 1` consecutive cycles, so a shorter watchdog would
+    /// fire on healthy runs.
+    WatchdogTooShort,
 }
 
 impl fmt::Display for ConfigError {
@@ -44,11 +50,60 @@ impl fmt::Display for ConfigError {
                     "retry is enabled but ttl_cycles is 0 (retransmission triggers on timeout)"
                 )
             }
+            ConfigError::WatchdogTooShort => {
+                write!(
+                    f,
+                    "stall_watchdog must exceed packet_flits (serialization pauses movement)"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// One blocked packet strand in a stalled network: the head packet of a
+/// queue, the channel it occupies, and the channel it waits for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Strand {
+    /// Source leaf port of the blocked head packet.
+    pub src: u32,
+    /// Destination leaf port of the blocked head packet.
+    pub dst: u32,
+    /// Channel whose queue the packet heads (`None` for packets still in a
+    /// leaf injection queue — they hold no fabric resource yet).
+    pub holds: Option<ChannelId>,
+    /// The next channel the packet needs (wire free + downstream credit).
+    pub waits_for: ChannelId,
+    /// Packets stranded in the same queue, head included.
+    pub queued: usize,
+}
+
+/// The stall watchdog's diagnosis: what is stuck and why (see
+/// [`crate::SimConfig::stall_watchdog`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StallReport {
+    /// Cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Packets injected but neither delivered nor abandoned.
+    pub in_flight: u64,
+    /// One entry per blocked queue head, ordered by held channel id
+    /// (injection-queue strands last, by source port).
+    pub strands: Vec<Strand>,
+    /// The credit wait-for cycle among held channels, if one exists:
+    /// `wait_cycle[i]` is held by a head packet waiting for
+    /// `wait_cycle[(i + 1) % len]` — the dynamic face of a cyclic channel
+    /// dependency. Rotated to start at its smallest channel id. Empty when
+    /// the stall is acyclic (e.g. traffic wedged behind a dead channel).
+    pub wait_cycle: Vec<ChannelId>,
+}
+
+impl StallReport {
+    /// Total packets stranded across all blocked queues.
+    pub fn stranded_packets(&self) -> usize {
+        self.strands.iter().map(|s| s.queued).sum()
+    }
+}
 
 /// Errors from a simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,6 +127,10 @@ pub enum SimError {
         /// What made the route unusable.
         detail: String,
     },
+    /// The stall watchdog fired: packets were in flight but nothing moved
+    /// for [`crate::SimConfig::stall_watchdog`] consecutive cycles. Carries
+    /// the full strand graph so the wedge is diagnosable without re-running.
+    Stalled(StallReport),
 }
 
 impl SimError {
@@ -102,6 +161,17 @@ impl fmt::Display for SimError {
                     "pinned route for pair ({src}, {dst}) is unusable: {detail}"
                 )
             }
+            SimError::Stalled(report) => {
+                write!(
+                    f,
+                    "simulation stalled at cycle {}: {} in flight, {} blocked strands, \
+                     wait-for cycle of {} channels",
+                    report.cycle,
+                    report.in_flight,
+                    report.strands.len(),
+                    report.wait_cycle.len()
+                )
+            }
         }
     }
 }
@@ -110,7 +180,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Config(e) => Some(e),
-            SimError::Invariant { .. } | SimError::PinnedPath { .. } => None,
+            SimError::Invariant { .. } | SimError::PinnedPath { .. } | SimError::Stalled(_) => None,
         }
     }
 }

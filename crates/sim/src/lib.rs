@@ -53,9 +53,12 @@ pub use batch::{sweep_injection_rates, sweep_injection_rates_isolated, Throughpu
 pub use churn::{ChurnConfig, ChurnReport, EpochStats, ReplanMode};
 pub use config::{Arbiter, SimConfig};
 pub use engine::Simulator;
-pub use error::{ConfigError, SimError};
+pub use error::{ConfigError, SimError, StallReport, Strand};
 pub use fault::{ChurnSchedule, FaultEvent, FaultSchedule};
 pub use policy::Policy;
 pub use stats::{SimStats, UtilizationHistogram};
-pub use witness::{run_pinned_injection, run_pinned_injection_recorded, PinnedRoute, WitnessRun};
+pub use witness::{
+    run_pinned_injection, run_pinned_injection_recorded, run_pinned_injection_watchdog,
+    run_pinned_injection_watchdog_recorded, PinnedRoute, WitnessRun,
+};
 pub use workload::Workload;

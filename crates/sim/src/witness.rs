@@ -106,6 +106,54 @@ pub fn run_pinned_injection_recorded<R: Recorder>(
     seed: u64,
     rec: &R,
 ) -> Result<WitnessRun, SimError> {
+    run_pinned_injection_watchdog_recorded(topo, routes, cycles, queue_capacity, 0, seed, rec)
+}
+
+/// [`run_pinned_injection`] with the bounded-progress stall watchdog armed:
+/// instead of letting a wedged run spin through the drain phase to the
+/// cycle cap and come back as mere `leftover_packets`, the engine aborts
+/// after `watchdog` progress-free cycles with [`SimError::Stalled`]
+/// carrying the strand graph — every blocked head packet, the channel it
+/// holds, the channel it waits for, and the credit wait-for cycle. Pass
+/// `watchdog = 0` to disable (identical to [`run_pinned_injection`]).
+///
+/// # Errors
+/// As for [`run_pinned_injection`], plus [`SimError::Stalled`] when the
+/// watchdog fires — the *expected* outcome when the pinned routes realize a
+/// cyclic channel dependency.
+pub fn run_pinned_injection_watchdog(
+    topo: &Topology,
+    routes: &[PinnedRoute],
+    cycles: u64,
+    queue_capacity: usize,
+    watchdog: u64,
+    seed: u64,
+) -> Result<WitnessRun, SimError> {
+    run_pinned_injection_watchdog_recorded(
+        topo,
+        routes,
+        cycles,
+        queue_capacity,
+        watchdog,
+        seed,
+        &Noop,
+    )
+}
+
+/// [`run_pinned_injection_watchdog`] with instrumentation (see
+/// [`run_pinned_injection_recorded`]).
+///
+/// # Errors
+/// As for [`run_pinned_injection_watchdog`].
+pub fn run_pinned_injection_watchdog_recorded<R: Recorder>(
+    topo: &Topology,
+    routes: &[PinnedRoute],
+    cycles: u64,
+    queue_capacity: usize,
+    watchdog: u64,
+    seed: u64,
+    rec: &R,
+) -> Result<WitnessRun, SimError> {
     let mut seen = HashSet::new();
     let kept: Vec<&PinnedRoute> = routes.iter().filter(|r| seen.insert(r.src)).collect();
     let policy = Policy::from_pinned(
@@ -121,6 +169,7 @@ pub fn run_pinned_injection_recorded<R: Recorder>(
         queue_capacity,
         drain: true,
         arbiter: Arbiter::HolFifo,
+        stall_watchdog: watchdog,
         ..SimConfig::default()
     };
     let stats = Simulator::new(topo, cfg, policy).try_run_recorded(&workload, seed, rec)?;
@@ -173,6 +222,65 @@ mod tests {
         );
         assert!(run.conservation_ok(), "stranded, not lost: {:?}", run.stats);
         assert!(run.stats.injected_total > 0);
+    }
+
+    #[test]
+    fn watchdog_turns_wedge_into_stalled_diagnosis() {
+        // Same valley cycle as above, but with the watchdog armed: instead
+        // of spinning the drain phase to the cap and reporting leftover
+        // packets, the run aborts with the strand graph. The wait-for cycle
+        // must be non-empty (the stall is the circular credit wait) and
+        // every cycle channel must be one of the valley's up/down channels.
+        let ft = Ftree::new(1, 1, 4).unwrap();
+        let err =
+            run_pinned_injection_watchdog(ft.topology(), &valley_routes(&ft), 200, 2, 64, 0xDEAD)
+                .unwrap_err();
+        let SimError::Stalled(report) = err else {
+            panic!("expected Stalled, got {err}");
+        };
+        assert!(report.in_flight > 0);
+        assert!(!report.strands.is_empty(), "strand graph must be populated");
+        assert!(
+            !report.wait_cycle.is_empty(),
+            "valley wedge is a circular credit wait: {report:?}"
+        );
+        assert!(report.stranded_packets() > 0);
+        // Each cycle member is held by some strand that waits for the next.
+        for (i, &c) in report.wait_cycle.iter().enumerate() {
+            let next = report.wait_cycle[(i + 1) % report.wait_cycle.len()];
+            assert!(
+                report
+                    .strands
+                    .iter()
+                    .any(|s| s.holds == Some(c) && s.waits_for == next),
+                "cycle edge {c:?} -> {next:?} has no backing strand"
+            );
+        }
+        // Deterministic: the same run yields the same diagnosis.
+        let err2 =
+            run_pinned_injection_watchdog(ft.topology(), &valley_routes(&ft), 200, 2, 64, 0xDEAD)
+                .unwrap_err();
+        assert_eq!(SimError::Stalled(report), err2);
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_clean_runs() {
+        // Up*/down* control routes drain completely; the watchdog must not
+        // fire and the statistics must match the unwatched run exactly.
+        let ft = Ftree::new(1, 1, 4).unwrap();
+        let router = DModK::new(&ft);
+        let routes: Vec<PinnedRoute> = valley_routes(&ft)
+            .into_iter()
+            .map(|r| {
+                let path = router.route(SdPair::new(r.src, r.dst));
+                PinnedRoute::new(r.src, r.dst, path.channels().to_vec())
+            })
+            .collect();
+        let watched =
+            run_pinned_injection_watchdog(ft.topology(), &routes, 200, 2, 64, 0xDEAD).unwrap();
+        let plain = run_pinned_injection(ft.topology(), &routes, 200, 2, 0xDEAD).unwrap();
+        assert_eq!(watched.stats, plain.stats);
+        assert!(!watched.wedged());
     }
 
     #[test]

@@ -156,6 +156,53 @@ impl Ftree {
         NodeId((self.r * self.n + self.r + t) as u32)
     }
 
+    /// Checked variant of [`Ftree::leaf`]: out-of-range coordinates come
+    /// back as a typed error instead of a (debug-only) panic, so callers
+    /// that derive coordinates from external input — fault campaigns,
+    /// CLI arguments — cannot silently produce a foreign node id in
+    /// release builds.
+    pub fn try_leaf(&self, v: usize, k: usize) -> Result<NodeId, TopoError> {
+        if v >= self.r {
+            return Err(TopoError::InvalidParameter {
+                name: "v",
+                value: v,
+                requirement: "must be < r (bottom-switch index)",
+            });
+        }
+        if k >= self.n {
+            return Err(TopoError::InvalidParameter {
+                name: "k",
+                value: k,
+                requirement: "must be < n (leaf index within its bottom)",
+            });
+        }
+        Ok(NodeId((v * self.n + k) as u32))
+    }
+
+    /// Checked variant of [`Ftree::bottom`] (see [`Ftree::try_leaf`]).
+    pub fn try_bottom(&self, v: usize) -> Result<NodeId, TopoError> {
+        if v >= self.r {
+            return Err(TopoError::InvalidParameter {
+                name: "v",
+                value: v,
+                requirement: "must be < r (bottom-switch index)",
+            });
+        }
+        Ok(NodeId((self.r * self.n + v) as u32))
+    }
+
+    /// Checked variant of [`Ftree::top`] (see [`Ftree::try_leaf`]).
+    pub fn try_top(&self, t: usize) -> Result<NodeId, TopoError> {
+        if t >= self.m {
+            return Err(TopoError::InvalidParameter {
+                name: "t",
+                value: t,
+                requirement: "must be < m (top-switch index)",
+            });
+        }
+        Ok(NodeId((self.r * self.n + self.r + t) as u32))
+    }
+
     /// Node id of top switch `(i, j)` under the Theorem 3 numbering
     /// (`t = i·n + j`); valid whenever `i·n + j < m`.
     #[inline]
@@ -235,6 +282,18 @@ impl Ftree {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checked_accessors_reject_out_of_range() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        assert_eq!(ft.try_leaf(0, 1).unwrap(), ft.leaf(0, 1));
+        assert_eq!(ft.try_bottom(4).unwrap(), ft.bottom(4));
+        assert_eq!(ft.try_top(3).unwrap(), ft.top(3));
+        assert!(ft.try_leaf(5, 0).is_err());
+        assert!(ft.try_leaf(0, 2).is_err());
+        assert!(ft.try_bottom(5).is_err());
+        assert!(ft.try_top(4).is_err());
+    }
 
     #[test]
     fn rejects_zero_parameters() {

@@ -94,10 +94,15 @@ pub fn bisection_channels(topo: &Topology) -> usize {
             }
         }
     }
+    // Leaf node id -> position among leaves (usize::MAX for non-leaves),
+    // so `side` never has to unwrap a linear search.
+    let mut leaf_pos = vec![usize::MAX; topo.num_nodes()];
+    for (i, &leaf) in leaves.iter().enumerate() {
+        leaf_pos[leaf.index()] = i;
+    }
     let side = |id: NodeId| -> usize {
         if topo.kind(id).is_leaf() {
-            let pos = leaves.iter().position(|&l| l == id).unwrap();
-            usize::from(pos >= half)
+            usize::from(leaf_pos[id.index()] != usize::MAX && leaf_pos[id.index()] >= half)
         } else {
             usize::from(high_count[id.index()] > low_count[id.index()])
         }

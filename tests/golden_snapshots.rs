@@ -161,3 +161,48 @@ fn simulate_trace_counters_conserve() {
         "conservation over the final flush: {text}"
     );
 }
+
+/// Exhaustive k-fault-tolerance certification: the text certificate for
+/// adaptive routability over the top switches of `ftree(2+4, 5)`.
+#[test]
+fn campaign_exhaustive_text_is_stable() {
+    assert_matches_golden(
+        "campaign_exhaustive_2_4_5.txt",
+        &cli("campaign 2 4 5 --mode exhaustive --k 2 --universe tops"),
+    );
+}
+
+/// Randomized campaign with shrinking: killer lines, 1-minimal cores, and
+/// the criticality ranking are all seed-deterministic.
+#[test]
+fn campaign_random_text_is_stable() {
+    assert_matches_golden(
+        "campaign_random_2_4_5.txt",
+        &cli("campaign 2 4 5 --waves 4 --wave-size 6 --links 2 --switches 1 --seed 7 --shrink"),
+    );
+}
+
+#[test]
+fn campaign_random_json_is_stable() {
+    assert_matches_golden(
+        "campaign_random_2_4_5.json",
+        &cli(
+            "campaign 2 4 5 --waves 4 --wave-size 6 --links 2 --switches 1 --seed 7 \
+             --shrink --json",
+        ),
+    );
+}
+
+/// The `--confirm` stall diagnosis: the valley router's baseline CDG cycle
+/// replayed in the simulator until the watchdog converts the wedge into a
+/// strand-graph report (who holds what, waiting on whom).
+#[test]
+fn campaign_confirm_stall_diagnosis_is_stable() {
+    assert_matches_golden(
+        "campaign_confirm_valley.txt",
+        &cli(
+            "campaign 1 1 4 --property deadlock --router valley --waves 1 --wave-size 2 \
+             --links 1 --switches 0 --confirm",
+        ),
+    );
+}

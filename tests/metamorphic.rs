@@ -297,3 +297,132 @@ fn relabeling_preserves_a_cyclic_witness() {
         assert_eq!(got.verdict.witness().unwrap(), &witness[..]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault-campaign metamorphic properties.
+// ---------------------------------------------------------------------------
+
+use ftclos::core::campaign::{
+    cable_universe, run_randomized, shrink, top_switch_universe, AdaptiveRoutability,
+    ArenaRoutability, CampaignConfig, CampaignProperty, FaultElement, FaultVector,
+};
+use rand::Rng;
+
+/// A seed-deterministic fault vector drawn from the fabric's cable and
+/// top-switch universes (duplicates collapse in `FaultVector::new`).
+fn random_fault_vector(ft: &Ftree, links: usize, tops: usize, seed: u64) -> FaultVector {
+    let topo = ft.topology();
+    let cables = cable_universe(topo);
+    let switches = top_switch_universe(topo);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut elems = Vec::with_capacity(links + tops);
+    for _ in 0..links {
+        elems.push(FaultElement::Link(cables[rng.gen_range(0..cables.len())]));
+    }
+    for _ in 0..tops {
+        elems.push(FaultElement::Switch(
+            switches[rng.gen_range(0..switches.len())],
+        ));
+    }
+    FaultVector::new(elems)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The delta-debugging shrinker's contract, checked against the
+    /// property itself: whenever a random fault vector kills adaptive
+    /// routability, the shrunk vector (a) is a subset, (b) still kills,
+    /// and (c) is 1-minimal — removing any single fault restores the
+    /// property.
+    #[test]
+    fn shrunk_killers_are_one_minimal(
+        n in 1usize..4, m in 1usize..6, r in 2usize..6,
+        links in 1usize..5, tops in 0usize..3, seed in 0u64..500,
+    ) {
+        let ft = Ftree::new(n, m, r).unwrap();
+        let property = AdaptiveRoutability::new(&ft);
+        let killer = random_fault_vector(&ft, links, tops, seed);
+        if property.judge(&killer).holds {
+            return Ok(()); // not a killer; nothing to shrink
+        }
+        let shrunk = shrink(&property, &killer);
+        let minimal = &shrunk.minimal;
+        prop_assert!(!minimal.is_empty());
+        for e in minimal.elements() {
+            prop_assert!(
+                killer.elements().contains(e),
+                "shrinker invented fault {e:?} absent from {killer}"
+            );
+        }
+        prop_assert!(
+            !property.judge(minimal).holds,
+            "shrunk set {minimal} no longer kills (from {killer})"
+        );
+        for i in 0..minimal.len() {
+            let weakened = minimal.without(i);
+            prop_assert!(
+                property.judge(&weakened).holds,
+                "{minimal} is not 1-minimal: dropping element {i} still kills"
+            );
+        }
+    }
+
+    /// Killer-superset antitonicity: faults only remove capability, so a
+    /// minimal killer plus arbitrary extra faults must still violate the
+    /// property.
+    #[test]
+    fn killer_supersets_still_kill(
+        n in 1usize..4, m in 1usize..6, r in 2usize..6,
+        links in 1usize..5, tops in 0usize..3,
+        extra_links in 0usize..4, extra_tops in 0usize..2, seed in 0u64..500,
+    ) {
+        let ft = Ftree::new(n, m, r).unwrap();
+        let property = AdaptiveRoutability::new(&ft);
+        let killer = random_fault_vector(&ft, links, tops, seed);
+        if property.judge(&killer).holds {
+            return Ok(());
+        }
+        let minimal = shrink(&property, &killer).minimal;
+        let extra = random_fault_vector(&ft, extra_links, extra_tops, seed ^ 0x5EED);
+        let superset = minimal.with(extra.elements());
+        prop_assert!(
+            !property.judge(&superset).holds,
+            "adding faults {extra} to a minimal killer restored routability"
+        );
+    }
+
+    /// Host relabeling bijects the SD universe, leaving the *multiset* of
+    /// routed paths — and with it every channel's pair incidence — intact.
+    /// A full randomized campaign against single-path routability (same
+    /// seed, so the same fault draws) must therefore produce the identical
+    /// killer list, identical shrunk cores, and the identical criticality
+    /// ranking for the relabeled router.
+    #[test]
+    fn relabeling_preserves_campaign_criticality(
+        n in 1usize..4, m in 1usize..6, r in 2usize..6, seed in 0u64..500,
+    ) {
+        let ft = Ftree::new(n, m, r).unwrap();
+        let topo = ft.topology();
+        let router = DModK::new(&ft);
+        let relabel = random_relabeling((n * r) as u32, seed);
+        let relabeled = Relabeled { inner: &router, relabel: &relabel };
+        let links = cable_universe(topo);
+        let switches = top_switch_universe(topo);
+        let cfg = CampaignConfig {
+            seed,
+            waves: 2,
+            wave_size: 4,
+            links_per_set: 2,
+            switches_per_set: 1,
+            shrink: true,
+        };
+        let base_prop = ArenaRoutability::new(topo, &router).unwrap();
+        let perm_prop = ArenaRoutability::new(topo, &relabeled).unwrap();
+        let base = run_randomized(&base_prop, &links, &switches, &cfg, None).unwrap();
+        let perm = run_randomized(&perm_prop, &links, &switches, &cfg, None).unwrap();
+        prop_assert_eq!(&base.killers, &perm.killers);
+        prop_assert_eq!(base.criticality(), perm.criticality());
+        prop_assert_eq!(base.sets_evaluated, perm.sets_evaluated);
+    }
+}
