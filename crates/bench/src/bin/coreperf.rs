@@ -30,6 +30,13 @@
 //! switches, then a 64-wave randomized fault campaign with shrinking, every
 //! minimal killer re-verified 1-minimal. Both inside a wall-clock budget.
 //!
+//! E24 — event-driven packet simulation at scale: the event engine must
+//! replay the cycle engine *exactly* (identical `SimStats`, bit for bit) on
+//! the 10k-host ftree while clearing ≥10× its simulated host-cycles/sec,
+//! then complete the first 100k+ host packet-level run — the recursive
+//! three-level construction at n = 18 (110 808 ports) — inside a
+//! wall-clock budget the cycle engine cannot even approach.
+//!
 //! Results land in `BENCH_core.json` (hand-rolled JSON, stable key order)
 //! next to the working directory for CI artifact upload. Exits nonzero when
 //! any claim — including the ≥10× speedup — fails.
@@ -42,9 +49,11 @@ use ftclos_core::{
     AdaptiveRoutability, CampaignConfig, CampaignError, CampaignProperty, ContentionEngine,
     ContentionScratch, FaultElement, ValleyRouter,
 };
+use ftclos_evsim::EventSimulator;
 use ftclos_obs::Registry;
-use ftclos_routing::{route_all, DModK, PathArena, RoutingError, YuanDeterministic};
-use ftclos_topo::{Ftree, TopoError};
+use ftclos_routing::{route_all, DModK, PathArena, RoutingError, YuanDeterministic, YuanRecursive};
+use ftclos_sim::{Policy, SimConfig, SimError, Simulator, Workload};
+use ftclos_topo::{Ftree, RecursiveNonblocking, TopoError};
 use ftclos_traffic::patterns;
 use rand::SeedableRng;
 use std::fmt;
@@ -63,6 +72,8 @@ enum BenchError {
     Routing(RoutingError),
     /// The E23 fault campaign aborted (checkpoint/resume plumbing).
     Campaign(CampaignError),
+    /// An E24 packet-level simulation failed (setup or stall, not perf).
+    Sim(SimError),
     /// Writing `BENCH_core.json` failed.
     Io(std::io::Error),
 }
@@ -73,6 +84,7 @@ impl fmt::Display for BenchError {
             BenchError::Topo(e) => write!(f, "fabric construction failed: {e}"),
             BenchError::Routing(e) => write!(f, "reference routing failed: {e}"),
             BenchError::Campaign(e) => write!(f, "fault campaign aborted: {e}"),
+            BenchError::Sim(e) => write!(f, "packet-level simulation failed: {e}"),
             BenchError::Io(e) => write!(f, "cannot write BENCH_core.json: {e}"),
         }
     }
@@ -101,6 +113,12 @@ impl From<std::io::Error> for BenchError {
 impl From<CampaignError> for BenchError {
     fn from(e: CampaignError) -> Self {
         BenchError::Campaign(e)
+    }
+}
+
+impl From<SimError> for BenchError {
+    fn from(e: SimError) -> Self {
+        BenchError::Sim(e)
     }
 }
 
@@ -412,6 +430,109 @@ fn run() -> Result<bool, BenchError> {
         "certification and campaign each stay under the 60 s budget",
     );
 
+    // E24 — event-driven packet simulation at scale. The cycle engine scans
+    // every switch output every cycle (the 10k-port ftree has 340k
+    // channels), so its simulated host-cycles/sec collapses with fabric
+    // size; the event engine only touches components with pending work and
+    // must replay the cycle engine's semantics exactly — the full
+    // `SimStats`, per-channel busy vector included — while clearing ≥10×
+    // the host-cycles/sec on the same run.
+    banner(
+        "E24",
+        "event-driven simulator: 10k-host differential, 100k-host run",
+    );
+    let e24_hosts = bn * br;
+    let e24_cfg = SimConfig {
+        warmup_cycles: 5,
+        measure_cycles: 15,
+        ..SimConfig::default()
+    };
+    let e24_cycles = e24_cfg.warmup_cycles + e24_cfg.measure_cycles;
+    let e24_perm = patterns::shift(e24_hosts as u32, 3);
+    let e24_routes = route_all(&big_yuan, &e24_perm)?;
+    let e24_policy = Policy::from_assignment(&e24_routes);
+    let e24_w = Workload::permutation(&e24_perm, 0.05);
+    result_line("e24_fabric", format!("ftree({bn}+{bm}, {br})"));
+    result_line("e24_hosts", e24_hosts);
+    result_line("e24_cycles", e24_cycles);
+    let (e24_cycle_s, cycle_stats) = time_once(|| {
+        Simulator::new(big.topology(), e24_cfg, e24_policy.clone()).try_run(&e24_w, SEED)
+    });
+    let cycle_stats = cycle_stats?;
+    let (e24_event_s, event_stats) = time_once(|| {
+        EventSimulator::new(big.topology(), e24_cfg, e24_policy.clone()).try_run(&e24_w, SEED)
+    });
+    let event_stats = event_stats?;
+    let e24_agree = cycle_stats == event_stats;
+    all_ok &= verdict(
+        e24_agree,
+        "event engine replays the cycle engine exactly at 10k hosts",
+    );
+    all_ok &= verdict(
+        event_stats.delivered_total > 0 && event_stats.conservation_ok(),
+        "10k-host run delivers packets and conserves them",
+    );
+    let e24_cycle_hcs = e24_hosts as f64 * e24_cycles as f64 / e24_cycle_s;
+    let e24_event_hcs = e24_hosts as f64 * e24_cycles as f64 / e24_event_s;
+    let e24_speedup = e24_event_hcs / e24_cycle_hcs;
+    result_line("e24_cycle_engine_s", format!("{e24_cycle_s:.3}"));
+    result_line("e24_event_engine_s", format!("{e24_event_s:.3}"));
+    result_line(
+        "e24_cycle_host_cycles_per_sec",
+        format!("{e24_cycle_hcs:.0}"),
+    );
+    result_line(
+        "e24_event_host_cycles_per_sec",
+        format!("{e24_event_hcs:.0}"),
+    );
+    result_line("e24_speedup", format!("{e24_speedup:.1}x"));
+    all_ok &= verdict(
+        e24_speedup >= 10.0,
+        "event engine clears >= 10x the cycle engine's host-cycles/sec",
+    );
+
+    // First packet-level run at the north star's scale: the recursive
+    // three-level construction at n = 18 exposes n⁴ + n³ = 110 808 host
+    // ports. Build + route + simulate must fit the same class of budget as
+    // E22; the cycle engine cannot even start here (its per-cycle channel
+    // scan alone would dwarf the budget).
+    let (e24_build_s, net) = time_once(|| RecursiveNonblocking::new(18));
+    let net = net?;
+    let r_hosts = net.num_leaves();
+    let r_perm = patterns::shift(r_hosts as u32, 7);
+    let (e24_route_s, r_routes) = time_once(|| route_all(&YuanRecursive::new(&net), &r_perm));
+    let r_routes = r_routes?;
+    let r_w = Workload::permutation(&r_perm, 0.02);
+    let (e24_run_s, r_stats) = time_once(|| {
+        EventSimulator::new(net.topology(), e24_cfg, Policy::from_assignment(&r_routes))
+            .try_run(&r_w, SEED)
+    });
+    let r_stats = r_stats?;
+    let e24_recursive_s = e24_build_s + e24_route_s + e24_run_s;
+    let e24_recursive_hcs = r_hosts as f64 * e24_cycles as f64 / e24_run_s;
+    result_line("e24_recursive_hosts", r_hosts);
+    result_line("e24_recursive_channels", net.topology().num_channels());
+    result_line("e24_recursive_build_s", format!("{e24_build_s:.3}"));
+    result_line("e24_recursive_route_s", format!("{e24_route_s:.3}"));
+    result_line("e24_recursive_run_s", format!("{e24_run_s:.3}"));
+    result_line(
+        "e24_recursive_host_cycles_per_sec",
+        format!("{e24_recursive_hcs:.0}"),
+    );
+    all_ok &= verdict(
+        r_hosts > 100_000,
+        "recursive n=18 fabric exposes more than 100k host ports",
+    );
+    all_ok &= verdict(
+        r_stats.delivered_total > 0 && r_stats.conservation_ok(),
+        "100k-host event run delivers packets and conserves them",
+    );
+    const E24_BUDGET_S: f64 = 120.0;
+    all_ok &= verdict(
+        e24_recursive_s < E24_BUDGET_S,
+        "100k-host build + route + simulate stays under the 120 s budget",
+    );
+
     // Machine-readable record for CI (hand-rolled: no serde_json in-tree).
     let json = format!(
         "{{\n  \"experiment\": \"E20\",\n  \"fabric\": \"ftree({n}+{m}, {r})\",\n  \
@@ -437,7 +558,20 @@ fn run() -> Result<bool, BenchError> {
          \"e23_killers\": {kl},\n  \
          \"e23_minimal_killers\": {mk},\n  \
          \"e23_shrink_ok\": {so},\n  \
-         \"e23_campaign_s\": {cg},\n  \"pass\": {pass}\n}}\n",
+         \"e23_campaign_s\": {cg},\n  \
+         \"e24_hosts\": {e24h},\n  \
+         \"e24_cycles\": {e24c},\n  \
+         \"e24_stats_agree\": {e24a},\n  \
+         \"e24_cycle_engine_s\": {e24cs},\n  \
+         \"e24_event_engine_s\": {e24es},\n  \
+         \"e24_cycle_host_cycles_per_sec\": {e24ch},\n  \
+         \"e24_event_host_cycles_per_sec\": {e24eh},\n  \
+         \"e24_speedup\": {e24sp},\n  \
+         \"e24_recursive_hosts\": {e24rh},\n  \
+         \"e24_recursive_build_s\": {e24rb},\n  \
+         \"e24_recursive_route_s\": {e24rr},\n  \
+         \"e24_recursive_run_s\": {e24rs},\n  \
+         \"e24_recursive_host_cycles_per_sec\": {e24rc},\n  \"pass\": {pass}\n}}\n",
         ports = n * r,
         lts = json_f64(legacy_sweep_s * 1e3),
         ets = json_f64(engine_sweep_s * 1e3),
@@ -466,6 +600,19 @@ fn run() -> Result<bool, BenchError> {
         mk = crit.minimal_killers,
         so = e23_shrink_ok,
         cg = json_f64(e23_campaign_s),
+        e24h = e24_hosts,
+        e24c = e24_cycles,
+        e24a = e24_agree,
+        e24cs = json_f64(e24_cycle_s),
+        e24es = json_f64(e24_event_s),
+        e24ch = json_f64(e24_cycle_hcs),
+        e24eh = json_f64(e24_event_hcs),
+        e24sp = json_f64(e24_speedup),
+        e24rh = r_hosts,
+        e24rb = json_f64(e24_build_s),
+        e24rr = json_f64(e24_route_s),
+        e24rs = json_f64(e24_run_s),
+        e24rc = json_f64(e24_recursive_hcs),
         pass = all_ok,
     );
     std::fs::write("BENCH_core.json", &json)?;

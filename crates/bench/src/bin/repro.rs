@@ -26,7 +26,11 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("faults", "E17  degraded operation under failures"),
     ("churn", "E18  transient-fault churn and availability"),
     ("flowsim", "E19  fluid max-min fair delivered throughput"),
-    ("coreperf", "E20  arena-backed contention engine vs legacy"),
+    (
+        "coreperf",
+        "E20-E24  contention engine, recording overhead, deadlock/fault \
+         campaigns at scale, event-driven simulator at 10k/100k hosts",
+    ),
     ("simval", "V1  simulator validation (HOL vs iSLIP)"),
     ("ablation", "A1-A3  design-choice ablations"),
 ];

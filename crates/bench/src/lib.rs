@@ -23,7 +23,7 @@
 //! | `faults` | E17 — degraded operation under injected failures |
 //! | `churn` | E18 — transient-fault churn, re-planning, availability |
 //! | `flowsim` | E19 — fluid max-min fair delivered throughput vs `m`, differential vs Lemma 1, 10k-host scale guard |
-//! | `coreperf` | E20 — arena-backed contention engine vs legacy sweeps, emits `BENCH_core.json` |
+//! | `coreperf` | E20–E24 — contention engine vs legacy sweeps, recording overhead, 10k-port deadlock/fault campaigns, event-driven simulator at 10k/100k hosts; emits `BENCH_core.json` |
 //! | `repro` | all of the above, in order |
 
 use std::io::Write as _;

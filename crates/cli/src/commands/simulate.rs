@@ -1,11 +1,20 @@
 //! `ftclos simulate <n> <m> <r> [--router R] [--pattern P] [--rate F]
-//! [--cycles N] [--arbiter hol|islip:K] [--seed S]` — packet-level run.
+//! [--cycles N] [--arbiter hol|islip:K] [--engine cycle|event] [--seed S]
+//! [--fail-uplinks K] [--fail-at C] [--json]` — packet-level run.
+//!
+//! `--engine event` runs the same workload on the event-driven core
+//! (`ftclos-evsim`) instead of the cycle-level sweep; the two engines are
+//! exact-replay equivalent, so the choice only affects speed at scale.
+//! `--fail-uplinks K` kills the links through the first `K` uplinks of
+//! edge switch 0 at cycle `--fail-at` (default: half the warmed-up run).
 
 use super::common::{build_ftree, make_pattern, route_named};
 use crate::opts::{CliError, Opts};
+use ftclos_evsim::EventSimulator;
 use ftclos_obs::Registry;
 use ftclos_routing::{DModK, SModK, YuanDeterministic};
-use ftclos_sim::{Arbiter, Policy, SimConfig, Simulator, Workload};
+use ftclos_sim::{Arbiter, FaultSchedule, Policy, SimConfig, SimStats, Simulator, Workload};
+use ftclos_topo::Ftree;
 use std::fmt::Write as _;
 
 fn parse_arbiter(spec: &str) -> Result<Arbiter, CliError> {
@@ -26,6 +35,25 @@ fn parse_arbiter(spec: &str) -> Result<Arbiter, CliError> {
     )))
 }
 
+/// Which simulator core executes the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Engine {
+    /// Cycle-level sweep (`ftclos-sim`) — the oracle.
+    Cycle,
+    /// Event-driven active-set engine (`ftclos-evsim`).
+    Event,
+}
+
+fn parse_engine(spec: &str) -> Result<Engine, CliError> {
+    match spec {
+        "cycle" => Ok(Engine::Cycle),
+        "event" => Ok(Engine::Event),
+        other => Err(CliError::Usage(format!(
+            "unknown engine `{other}` (cycle | event)"
+        ))),
+    }
+}
+
 /// Run the command.
 pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
     let ft = build_ftree(opts)?;
@@ -34,9 +62,24 @@ pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
     let rate: f64 = opts.flag_or("rate", 1.0)?;
     let cycles: u64 = opts.flag_or("cycles", 2_000)?;
     let arbiter = parse_arbiter(opts.flag("arbiter").unwrap_or("hol"))?;
+    let engine = parse_engine(opts.flag("engine").unwrap_or("cycle"))?;
+    let json: bool = opts.flag_or("json", false)?;
+    let fail_uplinks: usize = opts.flag_or("fail-uplinks", 0)?;
+    let fail_at: u64 = opts.flag_or("fail-at", cycles / 4 + cycles / 2)?;
     let spec = opts.flag("pattern").unwrap_or("random");
     let ports = ft.num_leaves() as u32;
     let perm = make_pattern(spec, ports, seed)?;
+
+    if fail_uplinks > ft.m() {
+        return Err(CliError::Usage(format!(
+            "--fail-uplinks {fail_uplinks} exceeds the {} uplinks of an edge switch",
+            ft.m()
+        )));
+    }
+    let mut faults = FaultSchedule::new();
+    for t in 0..fail_uplinks {
+        faults.kill_link(fail_at, ft.topology(), ft.up_channel(0, t));
+    }
 
     // Deterministic routers precompute all pair paths; pattern routers fix
     // the assignment for this permutation.
@@ -54,18 +97,46 @@ pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
         arbiter,
         ..SimConfig::default()
     };
-    let stats = Simulator::new(ft.topology(), cfg, policy)
-        .try_run_recorded(&Workload::permutation(&perm, rate), seed ^ 0xC0FFEE, rec)
+    let workload = Workload::permutation(&perm, rate);
+    let stats =
+        match engine {
+            Engine::Cycle => Simulator::new(ft.topology(), cfg, policy)
+                .try_run_with_faults_recorded(&workload, seed ^ 0xC0FFEE, &faults, rec),
+            Engine::Event => EventSimulator::new(ft.topology(), cfg, policy)
+                .try_run_with_faults_recorded(&workload, seed ^ 0xC0FFEE, &faults, rec),
+        }
         .map_err(|e| CliError::Failed(e.to_string()))?;
 
+    if json {
+        return Ok(render_json(
+            &ft,
+            router,
+            spec,
+            rate,
+            engine,
+            fail_uplinks,
+            fail_at,
+            &stats,
+        ));
+    }
     let mut out = String::new();
+    let engine_tag = match engine {
+        Engine::Cycle => String::new(),
+        Engine::Event => ", event engine".to_string(),
+    };
     let _ = writeln!(
         out,
-        "simulated `{spec}` at rate {rate} on ftree({}+{}, {}) with `{router}` ({arbiter:?}):",
+        "simulated `{spec}` at rate {rate} on ftree({}+{}, {}) with `{router}` ({arbiter:?}{engine_tag}):",
         ft.n(),
         ft.m(),
         ft.r()
     );
+    if fail_uplinks > 0 {
+        let _ = writeln!(
+            out,
+            "  faults: {fail_uplinks} uplink(s) of edge switch 0 die at cycle {fail_at}"
+        );
+    }
     let _ = writeln!(
         out,
         "  accepted throughput = {:.3} packets/cycle/source (offered {rate})",
@@ -89,6 +160,62 @@ pub fn run(opts: &Opts, rec: &Registry) -> Result<String, CliError> {
         stats.delivered_in_window
     );
     Ok(out)
+}
+
+/// One flat JSON object: run parameters plus the stats both engines agree
+/// on exactly (bit-identical across `--engine cycle` and `--engine event`
+/// for the same seed).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    ft: &Ftree,
+    router: &str,
+    pattern: &str,
+    rate: f64,
+    engine: Engine,
+    fail_uplinks: usize,
+    fail_at: u64,
+    stats: &SimStats,
+) -> String {
+    let engine = match engine {
+        Engine::Cycle => "cycle",
+        Engine::Event => "event",
+    };
+    format!(
+        concat!(
+            "{{\"command\":\"simulate\",\"engine\":\"{engine}\",",
+            "\"n\":{n},\"m\":{m},\"r\":{r},",
+            "\"router\":\"{router}\",\"pattern\":\"{pattern}\",\"rate\":{rate},",
+            "\"fail_uplinks\":{fail_uplinks},\"fail_at\":{fail_at},",
+            "\"injected_total\":{injected},\"delivered_total\":{delivered},",
+            "\"timed_out_total\":{timed_out},\"abandoned_total\":{abandoned},",
+            "\"leftover_packets\":{leftover},\"injection_refusals\":{refusals},",
+            "\"accepted_throughput\":{thr:.6},\"mean_latency\":{mlat:.3},",
+            "\"latency_p50\":{p50},\"latency_p95\":{p95},\"latency_p99\":{p99},",
+            "\"latency_max\":{lmax},\"conservation_ok\":{conservation}}}"
+        ),
+        engine = engine,
+        n = ft.n(),
+        m = ft.m(),
+        r = ft.r(),
+        router = router,
+        pattern = pattern,
+        rate = rate,
+        fail_uplinks = fail_uplinks,
+        fail_at = fail_at,
+        injected = stats.injected_total,
+        delivered = stats.delivered_total,
+        timed_out = stats.timed_out_total,
+        abandoned = stats.abandoned_total,
+        leftover = stats.leftover_packets,
+        refusals = stats.injection_refusals,
+        thr = stats.accepted_throughput(),
+        mlat = stats.mean_latency(),
+        p50 = stats.latency_p50,
+        p95 = stats.latency_p95,
+        p99 = stats.latency_p99,
+        lmax = stats.latency_max,
+        conservation = stats.conservation_ok(),
+    )
 }
 
 #[cfg(test)]
@@ -124,7 +251,35 @@ mod tests {
     }
 
     #[test]
-    fn arbiter_parsing() {
+    fn event_engine_matches_cycle_engine_output() {
+        let args = "2 4 5 --pattern shift:3 --rate 0.9 --cycles 800 --json true";
+        let cycle = run(&argv(&format!("{args} --engine cycle")), &Registry::new()).unwrap();
+        let reg = Registry::new();
+        let event = run(&argv(&format!("{args} --engine event")), &reg).unwrap();
+        assert_eq!(
+            cycle.replace("\"engine\":\"cycle\"", "\"engine\":\"event\""),
+            event,
+            "engines must agree field for field"
+        );
+        let snap = reg.snapshot();
+        assert!(snap.counter("evsim.injected").unwrap_or(0) > 0);
+        assert!(snap.spans.iter().any(|s| s.path == "evsim.run"), "{snap:?}");
+    }
+
+    #[test]
+    fn faulted_run_reports_the_outage() {
+        let out = run(
+            &argv("2 4 5 --pattern shift:3 --cycles 600 --fail-uplinks 2 --engine event"),
+            &Registry::new(),
+        )
+        .unwrap();
+        assert!(out.contains("2 uplink(s) of edge switch 0 die"), "{out}");
+        let err = run(&argv("2 4 5 --fail-uplinks 9"), &Registry::new()).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn engine_and_arbiter_parsing() {
         assert_eq!(parse_arbiter("hol").unwrap(), Arbiter::HolFifo);
         assert_eq!(
             parse_arbiter("islip:3").unwrap(),
@@ -136,5 +291,8 @@ mod tests {
         );
         assert!(parse_arbiter("magic").is_err());
         assert!(parse_arbiter("islip:x").is_err());
+        assert_eq!(parse_engine("cycle").unwrap(), Engine::Cycle);
+        assert_eq!(parse_engine("event").unwrap(), Engine::Event);
+        assert!(parse_engine("quantum").is_err());
     }
 }

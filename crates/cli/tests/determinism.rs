@@ -85,6 +85,49 @@ fn deadlock_witness_and_injection_are_thread_count_invariant() {
 }
 
 #[test]
+fn event_engine_reports_are_thread_count_invariant() {
+    // The event-driven engine is single-threaded by construction, but its
+    // reports ride the same CLI plumbing as everything else; both output
+    // forms must be byte-identical at any thread count — and identical to
+    // the cycle engine's run, engine tag aside.
+    let base = [
+        "simulate",
+        "2",
+        "4",
+        "5",
+        "--pattern",
+        "shift:3",
+        "--rate",
+        "0.9",
+        "--cycles",
+        "600",
+        "--seed",
+        "5",
+    ];
+    for json in [false, true] {
+        let mut event = base.to_vec();
+        event.extend(["--engine", "event"]);
+        if json {
+            event.push("--json");
+        }
+        assert_thread_invariant(&event);
+        let mut cycle = base.to_vec();
+        cycle.extend(["--engine", "cycle"]);
+        if json {
+            cycle.push("--json");
+        }
+        let cycle_out = run_with_threads(&cycle, "1")
+            .replace("\"engine\":\"cycle\"", "\"engine\":\"event\"")
+            .replace("(HolFifo)", "(HolFifo, event engine)");
+        assert_eq!(
+            cycle_out,
+            run_with_threads(&event, "1"),
+            "engines must agree on the full report"
+        );
+    }
+}
+
+#[test]
 fn blocking_sample_fraction_is_thread_count_invariant() {
     assert_thread_invariant(&[
         "blocking",

@@ -1,0 +1,1521 @@
+//! The event-driven engine: exact replay of the cycle engine's semantics,
+//! touching only components with pending work.
+//!
+//! # Exactness contract
+//!
+//! [`EventSimulator`] is **bit-for-bit equivalent** to
+//! [`ftclos_sim::Simulator`]: for identical topology, configuration,
+//! policy, workload, seed, and fault schedule it produces an identical
+//! [`SimStats`] (every field, `channel_busy` included), an identical
+//! [`ChurnReport`], and identical [`SimError`]s — the cycle engine is the
+//! differential oracle, not an approximation target. The speedup comes
+//! purely from *where work is looked for*, never from changing what work
+//! happens:
+//!
+//! * **Active sets** — only channels with queued packets and leaves with
+//!   queued injections are visited. The cycle engine's `O(channels)` sweep
+//!   per cycle becomes `O(active)`; on a 100k-host fabric with ~76M
+//!   directed channels and a few thousand packets in flight, that is the
+//!   difference between hours and seconds per cycle.
+//! * **Grant worklist** — head-of-line arbitration is re-derived from the
+//!   requesting queue heads (a `BTreeMap` keyed by output channel,
+//!   processed in ascending id order), which is provably the same grant
+//!   sequence as the oracle's full ascending output sweep.
+//! * **Drain fast-forward** — once injection stops, the engine consults
+//!   the [`EventWheel`] (packet ready times, wire release times, TTL
+//!   deadlines, scheduled fault transitions) and jumps over cycles in
+//!   which no state can change. The stall watchdog keeps exact cycle
+//!   accounting across jumps, so a wedged run reports
+//!   [`SimError::Stalled`] at the same cycle with the same strand graph.
+//!
+//! Injection cycles are never skipped: Bernoulli injection consumes the
+//! seeded RNG stream every cycle at every leaf, and replaying that stream
+//! exactly is what keeps the two engines interchangeable under one seed.
+
+use crate::wheel::EventWheel;
+use ftclos_obs::{Noop, Recorder};
+use ftclos_routing::LinkAdmission;
+use ftclos_sim::{
+    build_report, ChurnConfig, ChurnReport, ChurnSchedule, EpochMark, FaultSchedule, Policy,
+    SimConfig, SimError, SimStats, StallReport, Strand, Workload,
+};
+use ftclos_topo::{ChannelId, NodeId, Topology, Transition};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// One in-flight packet (mirrors the cycle engine's packet exactly).
+#[derive(Clone, Debug)]
+struct Packet {
+    src: u32,
+    dst: u32,
+    path: Arc<[ChannelId]>,
+    /// Index of the next channel to traverse.
+    hop: usize,
+    inject_cycle: u64,
+    /// Earliest cycle at which the packet may be granted its next hop.
+    ready_at: u64,
+    /// Cycle at which this attempt times out (`u64::MAX` when TTL is off).
+    deadline: u64,
+    /// Retransmissions already consumed.
+    retries: u32,
+}
+
+/// Cumulative totals already flushed to a [`Recorder`] under `evsim.*`
+/// names; each flush pushes only the delta (see the cycle engine's
+/// equivalent for the pattern).
+#[derive(Clone, Copy, Debug, Default)]
+struct FlushedTotals {
+    injected: u64,
+    delivered: u64,
+    timed_out: u64,
+    retries: u64,
+    abandoned: u64,
+    refusals: u64,
+}
+
+impl FlushedTotals {
+    fn flush<R: Recorder>(&mut self, rec: &R, stats: &SimStats) -> Result<(), SimError> {
+        let delta = |name: &'static str, total: u64, seen: u64| {
+            total.checked_sub(seen).ok_or_else(|| {
+                SimError::invariant(format!("recorder counter {name} moved backwards"))
+            })
+        };
+        rec.add(
+            "evsim.injected",
+            delta("evsim.injected", stats.injected_total, self.injected)?,
+        );
+        rec.add(
+            "evsim.delivered",
+            delta("evsim.delivered", stats.delivered_total, self.delivered)?,
+        );
+        rec.add(
+            "evsim.timed_out",
+            delta("evsim.timed_out", stats.timed_out_total, self.timed_out)?,
+        );
+        rec.add(
+            "evsim.retries",
+            delta("evsim.retries", stats.retries_total, self.retries)?,
+        );
+        rec.add(
+            "evsim.abandoned",
+            delta("evsim.abandoned", stats.abandoned_total, self.abandoned)?,
+        );
+        rec.add(
+            "evsim.refusals",
+            delta("evsim.refusals", stats.injection_refusals, self.refusals)?,
+        );
+        rec.gauge("evsim.in_flight", in_flight(stats)?);
+        self.injected = stats.injected_total;
+        self.delivered = stats.delivered_total;
+        self.timed_out = stats.timed_out_total;
+        self.retries = stats.retries_total;
+        self.abandoned = stats.abandoned_total;
+        self.refusals = stats.injection_refusals;
+        Ok(())
+    }
+}
+
+/// Packets currently inside the network, with the subtraction checked.
+fn in_flight(stats: &SimStats) -> Result<u64, SimError> {
+    stats
+        .injected_total
+        .checked_sub(stats.delivered_total)
+        .and_then(|left| left.checked_sub(stats.abandoned_total))
+        .ok_or_else(|| {
+            SimError::invariant("delivered + abandoned exceed injected (counter underflow)")
+        })
+}
+
+/// Event-driven simulator over a [`Topology`] with a path [`Policy`].
+///
+/// Construction and every `try_run*` entry point mirror
+/// [`ftclos_sim::Simulator`] one-to-one, so callers switch engines by
+/// switching the type and nothing else. See the module docs for the
+/// exactness contract.
+pub struct EventSimulator<'a> {
+    topo: &'a Topology,
+    cfg: SimConfig,
+    policy: Policy,
+}
+
+impl<'a> EventSimulator<'a> {
+    /// Create a simulator. The policy must cover every pair the workload
+    /// can generate (unrouteable injections are counted as refusals).
+    pub fn new(topo: &'a Topology, cfg: SimConfig, policy: Policy) -> Self {
+        Self { topo, cfg, policy }
+    }
+
+    /// Run one simulation and return its statistics.
+    ///
+    /// # Panics
+    /// On an invalid configuration or a broken engine invariant — use
+    /// [`EventSimulator::try_run`] for the structured-error form.
+    pub fn run(&mut self, workload: &Workload, seed: u64) -> SimStats {
+        match self.try_run(workload, seed) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`EventSimulator::run`].
+    ///
+    /// # Errors
+    /// [`SimError::Config`] for an invalid [`SimConfig`];
+    /// [`SimError::Invariant`] if the engine catches itself in an
+    /// inconsistent state; [`SimError::Stalled`] when the watchdog fires.
+    pub fn try_run(&mut self, workload: &Workload, seed: u64) -> Result<SimStats, SimError> {
+        self.try_run_with_faults(workload, seed, &FaultSchedule::new())
+    }
+
+    /// [`EventSimulator::try_run`] with instrumentation: the run records
+    /// under span `evsim.run`, with cumulative counters (`evsim.injected`,
+    /// `evsim.delivered`, `evsim.timed_out`, `evsim.retries`,
+    /// `evsim.abandoned`, `evsim.refusals`, `evsim.cycles`), the
+    /// `evsim.in_flight` gauge, activity accounting
+    /// (`evsim.skipped_cycles`, `evsim.busy_component_cycles`,
+    /// `evsim.idle_component_cycles`), and one recorder epoch per
+    /// liveness-transition cycle plus a final `end` epoch. With [`Noop`]
+    /// this is exactly `try_run`.
+    ///
+    /// # Errors
+    /// As for [`EventSimulator::try_run`].
+    pub fn try_run_recorded<R: Recorder>(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        rec: &R,
+    ) -> Result<SimStats, SimError> {
+        self.run_loop(workload, seed, &FaultSchedule::new(), None, rec)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Run with mid-simulation channel transitions (see
+    /// [`ftclos_sim::Simulator::try_run_with_faults`]).
+    ///
+    /// # Errors
+    /// As for [`EventSimulator::try_run`].
+    pub fn try_run_with_faults(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        faults: &FaultSchedule,
+    ) -> Result<SimStats, SimError> {
+        self.run_loop(workload, seed, faults, None, &Noop)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`EventSimulator::try_run_with_faults`] with instrumentation (see
+    /// [`EventSimulator::try_run_recorded`]).
+    ///
+    /// # Errors
+    /// As for [`EventSimulator::try_run`].
+    pub fn try_run_with_faults_recorded<R: Recorder>(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        faults: &FaultSchedule,
+        rec: &R,
+    ) -> Result<SimStats, SimError> {
+        self.run_loop(workload, seed, faults, None, rec)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Run under churn with per-epoch instrumentation (see
+    /// [`ftclos_sim::Simulator::try_run_churn`]).
+    ///
+    /// # Errors
+    /// As for [`EventSimulator::try_run`].
+    pub fn try_run_churn(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        schedule: &ChurnSchedule,
+        churn: &ChurnConfig,
+    ) -> Result<(SimStats, ChurnReport), SimError> {
+        self.run_loop(workload, seed, schedule, Some(churn), &Noop)
+            .map(|(stats, report)| (stats, report.unwrap_or_default()))
+    }
+
+    /// [`EventSimulator::try_run_churn`] with instrumentation
+    /// (additionally counts hysteresis re-planning events under
+    /// `evsim.churn_replans`).
+    ///
+    /// # Errors
+    /// As for [`EventSimulator::try_run`].
+    pub fn try_run_churn_recorded<R: Recorder>(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        schedule: &ChurnSchedule,
+        churn: &ChurnConfig,
+        rec: &R,
+    ) -> Result<(SimStats, ChurnReport), SimError> {
+        self.run_loop(workload, seed, schedule, Some(churn), rec)
+            .map(|(stats, report)| (stats, report.unwrap_or_default()))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_loop<R: Recorder>(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        faults: &ChurnSchedule,
+        churn: Option<&ChurnConfig>,
+        rec: &R,
+    ) -> Result<(SimStats, Option<ChurnReport>), SimError> {
+        self.cfg.validate()?;
+        let _span = rec.span("evsim.run");
+        let mut flushed = FlushedTotals::default();
+        self.policy.set_live_mask(None);
+        let mut admission: Option<LinkAdmission> = churn
+            .and_then(|c| c.mode.hysteresis_k())
+            .map(|k| LinkAdmission::new(self.topo.num_channels(), k));
+        let mut epoch_marks: Vec<EpochMark> = Vec::new();
+        let mut delivered_per_cycle: Vec<u32> = Vec::new();
+        let mut delivered_seen = 0u64;
+        if churn.is_some() {
+            epoch_marks.push(EpochMark::default()); // run-start baseline
+        }
+        let fault_events = faults.sorted_events();
+        let mut next_fault = 0usize;
+        let ttl = self.cfg.ttl_cycles;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let num_channels = self.topo.num_channels();
+        let leaves: Vec<NodeId> = self.topo.leaves().collect();
+        let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); num_channels];
+        let mut inject: Vec<VecDeque<Packet>> = vec![VecDeque::new(); leaves.len()];
+        let mut leaf_slot = vec![usize::MAX; self.topo.num_nodes()];
+        for (slot, &l) in leaves.iter().enumerate() {
+            leaf_slot[l.index()] = slot;
+        }
+        let mut rr = vec![0u32; num_channels];
+        let mut accept_ptr = vec![0u32; num_channels];
+        let mut busy_until = vec![0u64; num_channels];
+        let mut dead = vec![false; num_channels];
+        let flits = self.cfg.packet_flits.max(1);
+        let mut source_injected = vec![false; leaves.len()];
+        let mut window_latencies: Vec<u64> = Vec::new();
+
+        // --- Activity tracking (what makes this engine event-driven) ---
+        // Channels whose downstream queue holds at least one packet, and
+        // leaf slots with a non-empty injection queue. Every queue push and
+        // pop below maintains these; all per-cycle work iterates them
+        // instead of sweeping the whole fabric.
+        let mut nonempty_q: BTreeSet<u32> = BTreeSet::new();
+        let mut nonempty_inj: BTreeSet<u32> = BTreeSet::new();
+        // Channel id -> its position among `in_channels(dst)` when dst is a
+        // switch (the round-robin arbiter ranks requesters by that local
+        // input index).
+        let mut local_in = vec![u32::MAX; num_channels];
+        for sw in self.topo.node_ids() {
+            if !self.topo.kind(sw).is_switch() {
+                continue;
+            }
+            for (i, &c) in self.topo.in_channels(sw).iter().enumerate() {
+                local_in[c.index()] = i as u32;
+            }
+        }
+        // Wake-ups for the drain fast-forward. Only populated when a jump
+        // is ever legal: drain enabled and no hysteresis admission ticking
+        // at arbitrary cycles.
+        let mut wake = EventWheel::new();
+        let may_skip = self.cfg.drain && admission.is_none();
+        let mut skipped_cycles = 0u64;
+        let mut executed_cycles = 0u64;
+        let mut busy_component_cycles = 0u64;
+
+        let mut stats = SimStats {
+            window_cycles: self.cfg.measure_cycles,
+            offered_rate: workload.rate(),
+            channel_busy: vec![0; num_channels],
+            ..SimStats::default()
+        };
+        let warmup = self.cfg.warmup_cycles;
+        let total = self.cfg.total_cycles();
+
+        let watchdog = self.cfg.stall_watchdog;
+        let mut moves = 0u64;
+        let mut frozen_cycles = 0u64;
+        let mut last_signature = (u64::MAX, 0u64, 0u64, 0u64);
+
+        let mut now = 0u64;
+        // The loop breaks with `Some(report)` on a stall so the activity
+        // counters below still reach the recorder before the error returns.
+        let stalled: Option<StallReport> = loop {
+            if now >= total {
+                let inflight = in_flight(&stats)?;
+                if !self.cfg.drain || inflight == 0 {
+                    break None;
+                }
+                if now >= total + SimConfig::DRAIN_CAP {
+                    // Same rule as the cycle engine: an armed, mid-freeze
+                    // watchdog at the drain cap is a stall, not a cap exit.
+                    if watchdog > 0 && frozen_cycles > 0 {
+                        break Some(stall_report(now, inflight, &queues, &inject));
+                    }
+                    break None;
+                }
+            }
+            let in_window = now >= warmup && now < total;
+            let injecting = now < total;
+            // Inertness probe for the drain fast-forward: if none of these
+            // move during the cycle (and no fault event applied), the cycle
+            // changed nothing and the next state change sits on the wheel.
+            let sig_before = (
+                moves,
+                stats.injected_total,
+                stats.delivered_total,
+                stats.timed_out_total,
+                stats.retries_total,
+                stats.abandoned_total,
+                stats.injection_refusals,
+            );
+            let faults_before = next_fault;
+            // --- Liveness events (identical to the cycle engine) ---
+            let mut downs_now = 0u64;
+            let mut ups_now = 0u64;
+            while next_fault < fault_events.len() && fault_events[next_fault].cycle <= now {
+                let e = fault_events[next_fault];
+                if e.channel.index() < num_channels {
+                    dead[e.channel.index()] = e.transition == Transition::Down;
+                    match e.transition {
+                        Transition::Down => downs_now += 1,
+                        Transition::Up => ups_now += 1,
+                    }
+                    if let Some(adm) = admission.as_mut() {
+                        adm.observe(now, e.channel, e.transition);
+                    }
+                }
+                next_fault += 1;
+            }
+            if churn.is_some() && downs_now + ups_now > 0 {
+                let mark = EpochMark {
+                    cycle: now,
+                    downs: downs_now,
+                    ups: ups_now,
+                    injected: stats.injected_total,
+                    delivered: stats.delivered_total,
+                    timed_out: stats.timed_out_total,
+                    retries: stats.retries_total,
+                    abandoned: stats.abandoned_total,
+                };
+                match epoch_marks.last_mut() {
+                    Some(last) if last.cycle == now => {
+                        last.downs += downs_now;
+                        last.ups += ups_now;
+                    }
+                    _ => epoch_marks.push(mark),
+                }
+            }
+            if downs_now + ups_now > 0 && rec.is_enabled() {
+                flushed.flush(rec, &stats)?;
+                rec.mark_epoch(&format!("cycle={now}"));
+            }
+            if let Some(adm) = admission.as_mut() {
+                if adm.tick(now) {
+                    self.policy.set_live_mask(Some(adm.mask()));
+                    rec.add("evsim.churn_replans", 1);
+                }
+            }
+            // --- Timeout sweep over the active sets only. Snapshot order
+            // (queues ascending, then injection slots ascending) matches
+            // the oracle's full chained scan restricted to non-empty
+            // queues, so the expired list — and with it every retry RNG
+            // draw — comes out in the identical order. ---
+            if ttl > 0 {
+                let mut expired: Vec<Packet> = Vec::new();
+                let active_q: Vec<u32> = nonempty_q.iter().copied().collect();
+                for c in active_q {
+                    let q = &mut queues[c as usize];
+                    let mut i = 0;
+                    while i < q.len() {
+                        if matches!(q.get(i), Some(p) if now >= p.deadline) {
+                            let Some(p) = q.remove(i) else {
+                                return Err(SimError::invariant(
+                                    "expired packet index out of range",
+                                ));
+                            };
+                            expired.push(p);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if q.is_empty() {
+                        nonempty_q.remove(&c);
+                    }
+                }
+                let active_inj: Vec<u32> = nonempty_inj.iter().copied().collect();
+                for s in active_inj {
+                    let q = &mut inject[s as usize];
+                    let mut i = 0;
+                    while i < q.len() {
+                        if matches!(q.get(i), Some(p) if now >= p.deadline) {
+                            let Some(p) = q.remove(i) else {
+                                return Err(SimError::invariant(
+                                    "expired packet index out of range",
+                                ));
+                            };
+                            expired.push(p);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if q.is_empty() {
+                        nonempty_inj.remove(&s);
+                    }
+                }
+                for p in expired {
+                    stats.timed_out_total += 1;
+                    let can_retry = self.cfg.retry && p.retries < self.cfg.retry_limit;
+                    if !can_retry {
+                        stats.abandoned_total += 1;
+                        continue;
+                    }
+                    let queue_probe = |c: ChannelId| queues[c.index()].len();
+                    match self.policy.pick(p.src, p.dst, queue_probe, &mut rng) {
+                        Some(path) if !path.is_empty() => {
+                            stats.retries_total += 1;
+                            let slot = leaf_slot
+                                .get(p.src as usize)
+                                .copied()
+                                .filter(|&s| s != usize::MAX)
+                                .ok_or_else(|| {
+                                    SimError::invariant(format!(
+                                        "retransmission source {} is not a leaf",
+                                        p.src
+                                    ))
+                                })?;
+                            inject[slot].push_back(Packet {
+                                src: p.src,
+                                dst: p.dst,
+                                path,
+                                hop: 0,
+                                inject_cycle: p.inject_cycle,
+                                ready_at: now,
+                                deadline: now + ttl,
+                                retries: p.retries + 1,
+                            });
+                            nonempty_inj.insert(slot as u32);
+                            if may_skip {
+                                wake.push(now + ttl);
+                            }
+                        }
+                        _ => {
+                            stats.abandoned_total += 1;
+                        }
+                    }
+                }
+            }
+            // --- Injection phase: NEVER skipped or restricted. Bernoulli
+            // injection draws from the seeded RNG at every leaf every
+            // cycle; exact stream replay is the equivalence contract. ---
+            for (slot, &leaf) in leaves.iter().enumerate() {
+                if !injecting {
+                    break;
+                }
+                if !rng.gen_bool(workload.rate().clamp(0.0, 1.0)) {
+                    continue;
+                }
+                let src = leaf.0;
+                let Some(dst) = workload.destination(src, |n| rng.gen_range(0..n)) else {
+                    continue;
+                };
+                if self.cfg.bounded_injection && inject[slot].len() >= self.cfg.queue_capacity {
+                    stats.injection_refusals += 1;
+                    continue;
+                }
+                let queue_probe = |c: ChannelId| queues[c.index()].len();
+                let Some(path) = self.policy.pick(src, dst, queue_probe, &mut rng) else {
+                    stats.injection_refusals += 1;
+                    continue;
+                };
+                source_injected[slot] = true;
+                stats.injected_total += 1;
+                if in_window {
+                    stats.injected_in_window += 1;
+                }
+                if path.is_empty() {
+                    stats.delivered_total += 1;
+                    if in_window {
+                        stats.delivered_in_window += 1;
+                    }
+                    continue;
+                }
+                inject[slot].push_back(Packet {
+                    src,
+                    dst,
+                    path,
+                    hop: 0,
+                    inject_cycle: now,
+                    ready_at: now,
+                    deadline: if ttl > 0 { now + ttl } else { u64::MAX },
+                    retries: 0,
+                });
+                nonempty_inj.insert(slot as u32);
+                if may_skip && ttl > 0 {
+                    wake.push(now + ttl);
+                }
+            }
+
+            // --- Movement: injection links, active slots only. Each leaf
+            // drives its own uplink, so restricting the oracle's full slot
+            // sweep to non-empty slots changes nothing. ---
+            let active_inj: Vec<u32> = nonempty_inj.iter().copied().collect();
+            for s in active_inj {
+                let slot = s as usize;
+                let Some(&leaf) = leaves.get(slot) else {
+                    return Err(SimError::invariant("injection slot without a leaf"));
+                };
+                let Some(&up) = self.topo.out_channels(leaf).first() else {
+                    continue;
+                };
+                let o = up.index();
+                if busy_until[o] > now || dead[o] || queues[o].len() >= self.cfg.queue_capacity {
+                    continue;
+                }
+                let q = &mut inject[slot];
+                let eligible = matches!(
+                    q.front(),
+                    Some(p) if p.ready_at <= now && p.path.get(p.hop) == Some(&up)
+                );
+                if eligible {
+                    let Some(p) = q.pop_front() else {
+                        return Err(SimError::invariant(
+                            "eligible injection-queue head disappeared",
+                        ));
+                    };
+                    if q.is_empty() {
+                        nonempty_inj.remove(&s);
+                    }
+                    self.advance(
+                        p,
+                        o,
+                        now,
+                        flits,
+                        in_window,
+                        &mut queues,
+                        &mut busy_until,
+                        &mut stats,
+                        &mut window_latencies,
+                        &mut moves,
+                        &mut nonempty_q,
+                        &mut wake,
+                        may_skip,
+                    )?;
+                }
+            }
+            // --- Movement: switch outputs. ---
+            match self.cfg.arbiter {
+                ftclos_sim::Arbiter::HolFifo => {
+                    self.hol_fifo_cycle(
+                        now,
+                        flits,
+                        in_window,
+                        &mut queues,
+                        &mut busy_until,
+                        &dead,
+                        &mut rr,
+                        &local_in,
+                        &mut stats,
+                        &mut window_latencies,
+                        &mut moves,
+                        &mut nonempty_q,
+                        &mut wake,
+                        may_skip,
+                    )?;
+                }
+                ftclos_sim::Arbiter::Voq { iterations } => {
+                    // Only switches fed by at least one non-empty queue can
+                    // match anything; for all others the oracle's iSLIP
+                    // pass finds no requests, grants nothing, and leaves
+                    // every pointer untouched — a provable no-op.
+                    let mut active_switches: BTreeSet<u32> = BTreeSet::new();
+                    for &c in nonempty_q.iter() {
+                        let dst = self.topo.channel(ChannelId(c)).dst;
+                        if self.topo.kind(dst).is_switch() {
+                            active_switches.insert(dst.0);
+                        }
+                    }
+                    for sw in active_switches {
+                        self.islip_switch(
+                            NodeId(sw),
+                            iterations.max(1),
+                            now,
+                            flits,
+                            in_window,
+                            &mut queues,
+                            &mut busy_until,
+                            &dead,
+                            &mut rr,
+                            &mut accept_ptr,
+                            &mut stats,
+                            &mut window_latencies,
+                            &mut moves,
+                            &mut nonempty_q,
+                            &mut wake,
+                            may_skip,
+                        )?;
+                    }
+                }
+            }
+            if churn.is_some() {
+                delivered_per_cycle.push((stats.delivered_total - delivered_seen) as u32);
+                delivered_seen = stats.delivered_total;
+            }
+            if watchdog > 0 {
+                let inflight = in_flight(&stats)?;
+                let signature = (
+                    moves,
+                    stats.delivered_total,
+                    stats.abandoned_total,
+                    stats.retries_total,
+                );
+                if inflight > 0 && signature == last_signature {
+                    frozen_cycles += 1;
+                    if frozen_cycles >= watchdog {
+                        break Some(stall_report(now, inflight, &queues, &inject));
+                    }
+                } else {
+                    frozen_cycles = 0;
+                    last_signature = signature;
+                }
+            }
+            executed_cycles += 1;
+            busy_component_cycles += (nonempty_q.len() + nonempty_inj.len()) as u64;
+
+            // --- Drain fast-forward: if this cycle changed nothing and
+            // injection is over, jump to the next cycle on the wheel (or
+            // the next fault event, or the cycle where the watchdog must
+            // fire, or the drain cap). All skipped cycles are provably
+            // identical no-ops: queue state, RNG, pointers, and wires are
+            // untouched between wake-ups once injection stops. ---
+            let sig_after = (
+                moves,
+                stats.injected_total,
+                stats.delivered_total,
+                stats.timed_out_total,
+                stats.retries_total,
+                stats.abandoned_total,
+                stats.injection_refusals,
+            );
+            if may_skip
+                && now + 1 >= total
+                && sig_after == sig_before
+                && next_fault == faults_before
+                && in_flight(&stats)? > 0
+            {
+                let mut target = total + SimConfig::DRAIN_CAP;
+                if let Some(e) = fault_events.get(next_fault) {
+                    target = target.min(e.cycle.max(now + 1));
+                }
+                if let Some(w) = wake.next_at_or_after(now + 1) {
+                    target = target.min(w);
+                }
+                if watchdog > 0 {
+                    // frozen < watchdog here (a fire returns above); the
+                    // first cycle in which it can reach the threshold must
+                    // execute normally so the report is exact.
+                    target = target.min(now + (watchdog - frozen_cycles));
+                }
+                if target > now + 1 {
+                    let skipped = target - (now + 1);
+                    skipped_cycles += skipped;
+                    if watchdog > 0 {
+                        // Every skipped cycle would have been another
+                        // progress-free tick of the armed watchdog.
+                        frozen_cycles += skipped;
+                    }
+                    if churn.is_some() {
+                        delivered_per_cycle.extend(std::iter::repeat_n(0u32, skipped as usize));
+                    }
+                    now = target;
+                    continue;
+                }
+            }
+            now += 1;
+        };
+        rec.add("evsim.cycles", now);
+        rec.add("evsim.executed_cycles", executed_cycles);
+        rec.add("evsim.skipped_cycles", skipped_cycles);
+        rec.add("evsim.busy_component_cycles", busy_component_cycles);
+        let components = (num_channels + leaves.len()) as u64;
+        rec.add(
+            "evsim.idle_component_cycles",
+            executed_cycles
+                .saturating_mul(components)
+                .saturating_sub(busy_component_cycles),
+        );
+        if let Some(report) = stalled {
+            return Err(SimError::Stalled(report));
+        }
+        stats.leftover_packets = in_flight(&stats)?;
+        stats.active_sources = source_injected.iter().filter(|&&b| b).count();
+        if rec.is_enabled() {
+            flushed.flush(rec, &stats)?;
+            rec.mark_epoch("end");
+        }
+        window_latencies.sort_unstable();
+        finish_stats(&mut stats, &window_latencies);
+        let report = churn.map(|c| {
+            let final_mark = EpochMark {
+                cycle: now,
+                downs: 0,
+                ups: 0,
+                injected: stats.injected_total,
+                delivered: stats.delivered_total,
+                timed_out: stats.timed_out_total,
+                retries: stats.retries_total,
+                abandoned: stats.abandoned_total,
+            };
+            build_report(c, &epoch_marks, final_mark, &delivered_per_cycle, warmup)
+        });
+        Ok((stats, report))
+    }
+
+    /// One cycle of head-of-line FIFO arbitration, driven from the
+    /// requesting queue heads instead of a full output sweep.
+    ///
+    /// Equivalence to the oracle's ascending `for o in 0..num_channels`
+    /// sweep: a grant at output `o` needs a ready head whose next hop is
+    /// `o`, so outputs nobody requests are no-ops in both engines. The
+    /// worklist processes requested outputs in ascending id order and
+    /// re-checks wire/credit/liveness at processing time — the same state
+    /// the oracle sees when its sweep reaches `o`, because queue state for
+    /// `o` only changes when `o` itself grants. After a grant pops a queue,
+    /// its new head (if already ready) can only be granted by a *later*
+    /// output this cycle, exactly like the single-pass sweep; it is
+    /// re-enqueued under that output when its id is greater than `o`.
+    #[allow(clippy::too_many_arguments)]
+    fn hol_fifo_cycle(
+        &self,
+        now: u64,
+        flits: u64,
+        in_window: bool,
+        queues: &mut [VecDeque<Packet>],
+        busy_until: &mut [u64],
+        dead: &[bool],
+        rr: &mut [u32],
+        local_in: &[u32],
+        stats: &mut SimStats,
+        window_latencies: &mut Vec<u64>,
+        moves: &mut u64,
+        nonempty_q: &mut BTreeSet<u32>,
+        wake: &mut EventWheel,
+        may_skip: bool,
+    ) -> Result<(), SimError> {
+        // Requested output -> requesting input channels (each queue head
+        // requests exactly one output, so every queue appears at most once).
+        let mut pending: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for &c in nonempty_q.iter() {
+            let Some(p) = queues[c as usize].front() else {
+                continue;
+            };
+            let Some(&want) = p.path.get(p.hop) else {
+                continue; // defensive: delivered packets never queue
+            };
+            if p.ready_at > now {
+                continue;
+            }
+            // Only requests issued at the switch the packet sits at can be
+            // granted (mirrors the oracle scanning `in_channels(src(o))`).
+            if self.topo.channel(want).src != self.topo.channel(ChannelId(c)).dst {
+                continue;
+            }
+            pending.entry(want.0).or_default().push(c);
+        }
+        while let Some((&o, _)) = pending.iter().next() {
+            let reqs = pending.remove(&o).unwrap_or_default();
+            let oi = o as usize;
+            if busy_until[oi] > now || dead[oi] {
+                continue;
+            }
+            let ch = self.topo.channel(ChannelId(o));
+            if self.topo.kind(ch.src).is_leaf() {
+                continue; // injection links are handled separately
+            }
+            let to_leaf = self.topo.kind(ch.dst).is_leaf();
+            if !to_leaf && queues[oi].len() >= self.cfg.queue_capacity {
+                continue; // no downstream credit
+            }
+            let n_in = self.topo.in_channels(ch.src).len();
+            if n_in == 0 {
+                continue;
+            }
+            let start = rr[oi] as usize % n_in;
+            // Round-robin winner: the requester whose local input index
+            // comes first scanning from the grant pointer. Input indices
+            // are distinct per switch, so the minimum is unique.
+            let Some(&win) = reqs
+                .iter()
+                .min_by_key(|&&c| (local_in[c as usize] as usize + n_in - start) % n_in)
+            else {
+                continue;
+            };
+            let head_ok = matches!(
+                queues[win as usize].front(),
+                Some(p) if p.ready_at <= now && p.path.get(p.hop) == Some(&ChannelId(o))
+            );
+            if !head_ok {
+                return Err(SimError::invariant(
+                    "worklist head changed before its grant",
+                ));
+            }
+            let Some(p) = queues[win as usize].pop_front() else {
+                return Err(SimError::invariant("eligible input-queue head disappeared"));
+            };
+            if queues[win as usize].is_empty() {
+                nonempty_q.remove(&win);
+            }
+            rr[oi] = (local_in[win as usize] + 1) % n_in as u32;
+            // The popped queue's next head may request a later output this
+            // cycle (same-switch only; earlier outputs already passed).
+            if let Some(np) = queues[win as usize].front() {
+                if np.ready_at <= now {
+                    if let Some(&nwant) = np.path.get(np.hop) {
+                        if nwant.0 > o && self.topo.channel(nwant).src == ch.src {
+                            pending.entry(nwant.0).or_default().push(win);
+                        }
+                    }
+                }
+            }
+            self.advance(
+                p,
+                oi,
+                now,
+                flits,
+                in_window,
+                queues,
+                busy_until,
+                stats,
+                window_latencies,
+                moves,
+                nonempty_q,
+                wake,
+                may_skip,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Move one granted packet across output channel `o` (identical to the
+    /// oracle, plus active-set and wheel maintenance).
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        &self,
+        mut p: Packet,
+        o: usize,
+        now: u64,
+        flits: u64,
+        in_window: bool,
+        queues: &mut [VecDeque<Packet>],
+        busy_until: &mut [u64],
+        stats: &mut SimStats,
+        window_latencies: &mut Vec<u64>,
+        moves: &mut u64,
+        nonempty_q: &mut BTreeSet<u32>,
+        wake: &mut EventWheel,
+        may_skip: bool,
+    ) -> Result<(), SimError> {
+        let ch = self.topo.channel(ChannelId(o as u32));
+        let to_leaf = self.topo.kind(ch.dst).is_leaf();
+        *moves += 1;
+        p.hop += 1;
+        p.ready_at = now + flits;
+        busy_until[o] = now + flits;
+        if may_skip {
+            // The packet becomes ready — and the wire frees — at the same
+            // cycle; one wheel entry covers both.
+            wake.push(now + flits);
+        }
+        if in_window {
+            stats.channel_busy[o] += flits;
+        }
+        if to_leaf {
+            if ch.dst.0 != p.dst {
+                return Err(SimError::invariant(format!(
+                    "packet for leaf {} exited the fabric at leaf {}",
+                    p.dst, ch.dst.0
+                )));
+            }
+            if p.hop != p.path.len() {
+                return Err(SimError::invariant(format!(
+                    "packet reached its destination after hop {} of a {}-hop path",
+                    p.hop,
+                    p.path.len()
+                )));
+            }
+            stats.delivered_total += 1;
+            if in_window {
+                stats.delivered_in_window += 1;
+                let lat = now - p.inject_cycle + flits;
+                stats.latency_sum += lat;
+                stats.latency_max = stats.latency_max.max(lat);
+                window_latencies.push(lat);
+            }
+        } else {
+            queues[o].push_back(p);
+            nonempty_q.insert(o as u32);
+        }
+        Ok(())
+    }
+
+    /// One cycle of iSLIP request-grant-accept matching on switch `sw` —
+    /// a verbatim port of the oracle's matching (see
+    /// `ftclos_sim::Simulator`), with active-set maintenance on the moves.
+    #[allow(clippy::too_many_arguments)]
+    fn islip_switch(
+        &self,
+        sw: NodeId,
+        iterations: u8,
+        now: u64,
+        flits: u64,
+        in_window: bool,
+        queues: &mut [VecDeque<Packet>],
+        busy_until: &mut [u64],
+        dead: &[bool],
+        grant_ptr: &mut [u32],
+        accept_ptr: &mut [u32],
+        stats: &mut SimStats,
+        window_latencies: &mut Vec<u64>,
+        moves: &mut u64,
+        nonempty_q: &mut BTreeSet<u32>,
+        wake: &mut EventWheel,
+        may_skip: bool,
+    ) -> Result<(), SimError> {
+        let inputs = self.topo.in_channels(sw);
+        let outputs = self.topo.out_channels(sw);
+        if inputs.is_empty() || outputs.is_empty() {
+            return Ok(());
+        }
+        let out_slot = |c: ChannelId| outputs.iter().position(|&o| o == c);
+
+        let mut voq_head: Vec<Vec<Option<usize>>> = Vec::with_capacity(inputs.len());
+        for &qi in inputs {
+            let mut heads = vec![None; outputs.len()];
+            for (pos, p) in queues[qi.index()].iter().enumerate() {
+                let Some(&next_hop) = p.path.get(p.hop) else {
+                    continue;
+                };
+                if p.ready_at > now {
+                    continue;
+                }
+                if let Some(oj) = out_slot(next_hop) {
+                    if heads[oj].is_none() {
+                        heads[oj] = Some(pos);
+                    }
+                }
+            }
+            voq_head.push(heads);
+        }
+        let out_ok: Vec<bool> = outputs
+            .iter()
+            .map(|&o| {
+                if busy_until[o.index()] > now || dead[o.index()] {
+                    return false;
+                }
+                let ch = self.topo.channel(o);
+                self.topo.kind(ch.dst).is_leaf()
+                    || queues[o.index()].len() < self.cfg.queue_capacity
+            })
+            .collect();
+
+        let mut in_matched = vec![false; inputs.len()];
+        let mut out_matched = vec![false; outputs.len()];
+        let mut matches: Vec<(usize, usize)> = Vec::new();
+        for iter in 0..iterations {
+            let mut grants: Vec<Vec<usize>> = vec![Vec::new(); inputs.len()];
+            let mut any_grant = false;
+            for (oj, &o) in outputs.iter().enumerate() {
+                if out_matched[oj] || !out_ok[oj] {
+                    continue;
+                }
+                let start = grant_ptr[o.index()] as usize % inputs.len();
+                for k in 0..inputs.len() {
+                    let ii = (start + k) % inputs.len();
+                    if !in_matched[ii] && voq_head[ii][oj].is_some() {
+                        grants[ii].push(oj);
+                        any_grant = true;
+                        break;
+                    }
+                }
+            }
+            if !any_grant {
+                break;
+            }
+            for (ii, granted) in grants.iter().enumerate() {
+                if granted.is_empty() || in_matched[ii] {
+                    continue;
+                }
+                let qi = inputs[ii];
+                let start = accept_ptr[qi.index()] as usize % outputs.len();
+                let Some(&oj) = granted
+                    .iter()
+                    .min_by_key(|&&oj| (oj + outputs.len() - start) % outputs.len())
+                else {
+                    return Err(SimError::invariant("grant list emptied during accept"));
+                };
+                in_matched[ii] = true;
+                out_matched[oj] = true;
+                matches.push((ii, oj));
+                if iter == 0 {
+                    grant_ptr[outputs[oj].index()] = ((ii + 1) % inputs.len()) as u32;
+                    accept_ptr[qi.index()] = ((oj + 1) % outputs.len()) as u32;
+                }
+            }
+        }
+        for (ii, oj) in matches {
+            let Some(pos) = voq_head[ii][oj] else {
+                return Err(SimError::invariant(
+                    "iSLIP matched an input with no eligible VOQ head",
+                ));
+            };
+            let qc = inputs[ii].index();
+            let Some(p) = queues[qc].remove(pos) else {
+                return Err(SimError::invariant("iSLIP VOQ head position out of range"));
+            };
+            if queues[qc].is_empty() {
+                nonempty_q.remove(&(qc as u32));
+            }
+            self.advance(
+                p,
+                outputs[oj].index(),
+                now,
+                flits,
+                in_window,
+                queues,
+                busy_until,
+                stats,
+                window_latencies,
+                moves,
+                nonempty_q,
+                wake,
+                may_skip,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Fill in percentile fields from sorted window latencies (identical to
+/// the oracle's computation).
+fn finish_stats(stats: &mut SimStats, sorted: &[u64]) {
+    let pct = |q: f64| -> u64 {
+        if sorted.is_empty() {
+            0
+        } else {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        }
+    };
+    stats.latency_p50 = pct(0.50);
+    stats.latency_p95 = pct(0.95);
+    stats.latency_p99 = pct(0.99);
+}
+
+/// Build the watchdog's diagnosis from the frozen queue state (identical
+/// to the oracle's strand-graph construction).
+fn stall_report(
+    cycle: u64,
+    in_flight: u64,
+    queues: &[VecDeque<Packet>],
+    inject: &[VecDeque<Packet>],
+) -> StallReport {
+    let mut strands = Vec::new();
+    let mut waits: Vec<Option<ChannelId>> = vec![None; queues.len()];
+    for (c, q) in queues.iter().enumerate() {
+        let Some(p) = q.front() else { continue };
+        let Some(&next) = p.path.get(p.hop) else {
+            continue;
+        };
+        strands.push(Strand {
+            src: p.src,
+            dst: p.dst,
+            holds: Some(ChannelId(c as u32)),
+            waits_for: next,
+            queued: q.len(),
+        });
+        waits[c] = Some(next);
+    }
+    for q in inject {
+        let Some(p) = q.front() else { continue };
+        let Some(&next) = p.path.get(p.hop) else {
+            continue;
+        };
+        strands.push(Strand {
+            src: p.src,
+            dst: p.dst,
+            holds: None,
+            waits_for: next,
+            queued: q.len(),
+        });
+    }
+    StallReport {
+        cycle,
+        in_flight,
+        strands,
+        wait_cycle: find_wait_cycle(&waits),
+    }
+}
+
+/// First cycle of the functional wait-for graph, rotated to its smallest
+/// member (identical to the oracle).
+fn find_wait_cycle(waits: &[Option<ChannelId>]) -> Vec<ChannelId> {
+    let mut color = vec![0u8; waits.len()];
+    for start in 0..waits.len() {
+        if color[start] != 0 || waits[start].is_none() {
+            continue;
+        }
+        let mut walk: Vec<usize> = Vec::new();
+        let mut cur = start;
+        loop {
+            color[cur] = 1;
+            walk.push(cur);
+            let Some(next) = waits[cur] else { break };
+            let next = next.index();
+            if next >= waits.len() || color[next] == 2 {
+                break;
+            }
+            if color[next] == 1 {
+                let pos = walk.iter().position(|&c| c == next).unwrap_or(0);
+                let mut cycle: Vec<ChannelId> =
+                    walk[pos..].iter().map(|&c| ChannelId(c as u32)).collect();
+                if let Some(min_pos) = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| c.0)
+                    .map(|(i, _)| i)
+                {
+                    cycle.rotate_left(min_pos);
+                }
+                return cycle;
+            }
+            cur = next;
+        }
+        for c in walk {
+            color[c] = 2;
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclos_routing::{DModK, ObliviousMultipath, SpreadPolicy, YuanDeterministic};
+    use ftclos_sim::{ChurnConfig, ChurnSchedule, ReplanMode, Simulator};
+    use ftclos_topo::Ftree;
+    use ftclos_traffic::patterns;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_000,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Run both engines on the same inputs and require exact equality.
+    fn assert_engines_agree(
+        topo: &Topology,
+        config: SimConfig,
+        policy: &Policy,
+        w: &Workload,
+        seed: u64,
+        faults: &FaultSchedule,
+    ) -> SimStats {
+        let oracle = Simulator::new(topo, config, policy.clone())
+            .try_run_with_faults(w, seed, faults)
+            .unwrap();
+        let event = EventSimulator::new(topo, config, policy.clone())
+            .try_run_with_faults(w, seed, faults)
+            .unwrap();
+        assert_eq!(oracle, event, "engines diverged");
+        event
+    }
+
+    #[test]
+    fn matches_cycle_engine_on_permutations() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let policy = Policy::from_single_path(&router);
+        let perm = patterns::shift(10, 3);
+        for rate in [0.2, 0.9] {
+            for arbiter in [
+                ftclos_sim::Arbiter::HolFifo,
+                ftclos_sim::Arbiter::Voq { iterations: 2 },
+            ] {
+                let config = SimConfig { arbiter, ..cfg() };
+                let stats = assert_engines_agree(
+                    ft.topology(),
+                    config,
+                    &policy,
+                    &Workload::permutation(&perm, rate),
+                    7,
+                    &FaultSchedule::new(),
+                );
+                assert!(stats.delivered_total > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_cycle_engine_on_congested_uniform_traffic() {
+        // DModK on a thin fabric congests hard: deep queues, HOL blocking,
+        // leftover packets — the adversarial case for grant-order replay.
+        let ft = Ftree::new(2, 1, 5).unwrap();
+        let router = DModK::new(&ft);
+        let policy = Policy::from_single_path(&router);
+        let stats = assert_engines_agree(
+            ft.topology(),
+            cfg(),
+            &policy,
+            &Workload::uniform_random(10, 1.0),
+            44,
+            &FaultSchedule::new(),
+        );
+        assert!(stats.leftover_packets > 0, "congestion expected");
+    }
+
+    #[test]
+    fn matches_cycle_engine_with_drain_and_multiflit() {
+        let ft = Ftree::new(2, 1, 5).unwrap();
+        let router = DModK::new(&ft);
+        let policy = Policy::from_single_path(&router);
+        let config = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 400,
+            drain: true,
+            packet_flits: 3,
+            ..SimConfig::default()
+        };
+        let stats = assert_engines_agree(
+            ft.topology(),
+            config,
+            &policy,
+            &Workload::uniform_random(10, 1.0),
+            44,
+            &FaultSchedule::new(),
+        );
+        assert_eq!(stats.leftover_packets, 0, "drain must empty the network");
+    }
+
+    #[test]
+    fn matches_cycle_engine_under_faults_retry_and_spreading() {
+        // Random multipath spreading consumes RNG on every pick; faults
+        // plus TTL retries exercise the timeout sweep ordering.
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let policy = Policy::from_multipath(&mp, true);
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_500,
+            ttl_cycles: 60,
+            retry: true,
+            retry_limit: 10,
+            drain: true,
+            arbiter: ftclos_sim::Arbiter::Voq { iterations: 2 },
+            ..SimConfig::default()
+        };
+        let mut faults = FaultSchedule::new();
+        faults.kill_channel(400, ft.up_channel(0, 1));
+        let stats = assert_engines_agree(
+            ft.topology(),
+            config,
+            &policy,
+            &Workload::permutation(&perm, 0.6),
+            9,
+            &faults,
+        );
+        assert!(stats.timed_out_total > 0);
+        assert!(stats.retries_total > 0);
+        assert!(stats.conservation_ok());
+    }
+
+    #[test]
+    fn matches_cycle_engine_under_churn_modes() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 2_000,
+            ttl_cycles: 50,
+            drain: true,
+            arbiter: ftclos_sim::Arbiter::Voq { iterations: 2 },
+            ..SimConfig::default()
+        };
+        let mut schedule = ChurnSchedule::new();
+        schedule.kill_link(400, ft.topology(), ft.up_channel(0, 1));
+        schedule.revive_link(900, ft.topology(), ft.up_channel(0, 1));
+        for mode in [
+            ReplanMode::Pinned,
+            ReplanMode::PerCycle,
+            ReplanMode::Hysteresis { k: 150 },
+        ] {
+            let churn = ChurnConfig {
+                mode,
+                epsilon: 0.1,
+                recovery_window: 50,
+            };
+            let w = Workload::permutation(&perm, 0.6);
+            let (oracle, oracle_report) =
+                Simulator::new(ft.topology(), config, Policy::from_multipath(&mp, true))
+                    .try_run_churn(&w, 33, &schedule, &churn)
+                    .unwrap();
+            let (event, event_report) =
+                EventSimulator::new(ft.topology(), config, Policy::from_multipath(&mp, true))
+                    .try_run_churn(&w, 33, &schedule, &churn)
+                    .unwrap();
+            assert_eq!(oracle, event, "stats diverged under {mode:?}");
+            assert_eq!(oracle_report, event_report, "report diverged: {mode:?}");
+        }
+    }
+
+    #[test]
+    fn matches_cycle_engine_stall_diagnosis() {
+        // Pinned valley routes wedge the fabric; both engines must return
+        // the identical Stalled error (cycle, strands, wait cycle).
+        let ft = Ftree::new(1, 1, 4).unwrap();
+        let routes = valley_routes(&ft);
+        let policy = || {
+            Policy::from_pinned(
+                ft.topology(),
+                routes.iter().map(|(s, d, p)| (*s, *d, p.as_slice())),
+            )
+            .unwrap()
+        };
+        let pairs: Vec<(u32, u32)> = routes.iter().map(|(s, d, _)| (*s, *d)).collect();
+        let w = Workload::fixed_pairs(4, &pairs, 1.0);
+        let config = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 200,
+            queue_capacity: 2,
+            drain: true,
+            stall_watchdog: 64,
+            ..SimConfig::default()
+        };
+        let oracle = Simulator::new(ft.topology(), config, policy())
+            .try_run(&w, 0xDEAD)
+            .unwrap_err();
+        let event = EventSimulator::new(ft.topology(), config, policy())
+            .try_run(&w, 0xDEAD)
+            .unwrap_err();
+        assert_eq!(oracle, event);
+        assert!(matches!(event, SimError::Stalled(_)));
+    }
+
+    #[test]
+    fn drain_fast_forward_skips_cycles_and_hits_the_cap_stall() {
+        // With the watchdog too long to fire before the drain cap, the
+        // wedged run must stall out at exactly the cap cycle — and the
+        // event engine must get there by jumping, not spinning.
+        let ft = Ftree::new(1, 1, 4).unwrap();
+        let routes = valley_routes(&ft);
+        let policy = Policy::from_pinned(
+            ft.topology(),
+            routes.iter().map(|(s, d, p)| (*s, *d, p.as_slice())),
+        )
+        .unwrap();
+        let pairs: Vec<(u32, u32)> = routes.iter().map(|(s, d, _)| (*s, *d)).collect();
+        let w = Workload::fixed_pairs(4, &pairs, 1.0);
+        let config = SimConfig {
+            warmup_cycles: 0,
+            measure_cycles: 50,
+            queue_capacity: 2,
+            drain: true,
+            stall_watchdog: 2 * SimConfig::DRAIN_CAP,
+            ..SimConfig::default()
+        };
+        let reg = ftclos_obs::Registry::new();
+        let err = EventSimulator::new(ft.topology(), config, policy)
+            .try_run_recorded(&w, 0xDEAD, &reg)
+            .unwrap_err();
+        let SimError::Stalled(report) = err else {
+            panic!("expected Stalled at the drain cap, got {err}");
+        };
+        assert_eq!(report.cycle, 50 + SimConfig::DRAIN_CAP);
+        let snap = reg.snapshot();
+        let skipped = snap.counter("evsim.skipped_cycles").unwrap_or(0);
+        assert!(
+            skipped > SimConfig::DRAIN_CAP / 2,
+            "fast-forward must skip most of the drain: {skipped}"
+        );
+        let executed = snap.counter("evsim.executed_cycles").unwrap_or(0);
+        assert!(
+            executed < 1_000,
+            "wedged drain should execute few real cycles: {executed}"
+        );
+    }
+
+    #[test]
+    fn recorded_run_flushes_evsim_counters_and_epochs() {
+        let ft = Ftree::new(2, 4, 5).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(10, 2);
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 1_500,
+            ttl_cycles: 40,
+            drain: true,
+            ..SimConfig::default()
+        };
+        let mut faults = FaultSchedule::new();
+        for t in 0..4 {
+            faults.kill_channel(400, ft.up_channel(0, t));
+            faults.revive_channel(900, ft.up_channel(0, t));
+        }
+        let w = Workload::permutation(&perm, 0.6);
+        let plain = EventSimulator::new(ft.topology(), config, Policy::from_single_path(&router))
+            .try_run_with_faults(&w, 9, &faults)
+            .unwrap();
+        let reg = ftclos_obs::Registry::new();
+        let recorded =
+            EventSimulator::new(ft.topology(), config, Policy::from_single_path(&router))
+                .try_run_with_faults_recorded(&w, 9, &faults, &reg)
+                .unwrap();
+        assert_eq!(plain, recorded, "recording must not perturb the run");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("evsim.injected"), Some(plain.injected_total));
+        assert_eq!(snap.counter("evsim.delivered"), Some(plain.delivered_total));
+        assert_eq!(snap.counter("evsim.abandoned"), Some(plain.abandoned_total));
+        assert_eq!(snap.gauge("evsim.in_flight"), Some(plain.leftover_packets));
+        assert!(snap.spans.iter().any(|s| s.path == "evsim.run"));
+        assert!(snap.counter("evsim.busy_component_cycles").unwrap_or(0) > 0);
+        assert_eq!(snap.epochs.len(), 3);
+        assert_eq!(snap.epochs[0].label, "cycle=400");
+        assert_eq!(snap.epochs[1].label, "cycle=900");
+        assert_eq!(snap.epochs[2].label, "end");
+        for e in &snap.epochs {
+            assert_eq!(
+                e.counter("evsim.injected"),
+                e.counter("evsim.delivered")
+                    + e.counter("evsim.abandoned")
+                    + e.gauge("evsim.in_flight"),
+                "epoch {} must conserve packets",
+                e.label
+            );
+        }
+    }
+
+    /// Hand-built "valley" routes on `ftree(1, 1, 4)` (the witness-module
+    /// construction): route `v -> (v+3) % 4` walks three arcs of the
+    /// 8-channel up/down cycle, realizing a circular credit wait.
+    fn valley_routes(ft: &Ftree) -> Vec<(u32, u32, Vec<ChannelId>)> {
+        let r = 4;
+        (0..r)
+            .map(|v| {
+                let w = (v + 3) % r;
+                let mut channels = vec![ft.leaf_up_channel(v, 0)];
+                for k in 0..3 {
+                    channels.push(ft.up_channel((v + k) % r, 0));
+                    channels.push(ft.down_channel(0, (v + k + 1) % r));
+                }
+                channels.push(ft.leaf_down_channel(w, 0));
+                (v as u32, w as u32, channels)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,36 @@
+//! Event-driven simulator core for folded-Clos fabrics at 100k+ hosts.
+//!
+//! The cycle-level engine in `ftclos-sim` sweeps every channel of the
+//! fabric every cycle — exact, simple, and `O(channels)` per cycle, which
+//! is fine at thousands of hosts and hopeless at a hundred thousand
+//! (a 3-level recursive nonblocking fabric for ~100k hosts has tens of
+//! millions of directed channels, almost all of them idle in any given
+//! cycle). This crate keeps the *semantics* and changes the *schedule*:
+//!
+//! * [`EventSimulator`] tracks exactly which components have pending work
+//!   (non-empty queues, queued injections) and visits only those, and
+//! * [`EventWheel`] orders future wake-ups (packet ready times, wire
+//!   releases, TTL deadlines, fault transitions) so the drain phase can
+//!   fast-forward over provably-inert cycles instead of executing them.
+//!
+//! The engine is a *replay*, not a reimplementation: for identical inputs
+//! it reproduces the cycle engine's [`ftclos_sim::SimStats`] exactly —
+//! every counter, every latency percentile, every per-channel busy count,
+//! and every error, stall diagnoses included. That contract is enforced by
+//! the differential tests in this crate and in `tests/evsim_differential.rs`
+//! at the workspace root; the cycle engine stays on as the oracle.
+//!
+//! It shares the whole `ftclos-sim` vocabulary — [`ftclos_sim::Workload`],
+//! [`ftclos_sim::Policy`], [`ftclos_sim::FaultSchedule`],
+//! [`ftclos_sim::ChurnSchedule`], [`ftclos_sim::SimConfig`],
+//! [`ftclos_sim::SimError`] — so existing workloads, fault campaigns, and
+//! churn studies run unchanged on either engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod wheel;
+
+pub use engine::EventSimulator;
+pub use wheel::EventWheel;

@@ -174,9 +174,12 @@ impl ChurnReport {
     }
 }
 
-/// Cumulative counter snapshot taken at an epoch boundary (engine-internal).
+/// Cumulative counter snapshot taken at an epoch boundary. Engine-internal:
+/// exposed (hidden) so the event-driven engine in `ftclos-evsim` can build
+/// byte-identical [`ChurnReport`]s from the same boundary bookkeeping.
+#[doc(hidden)]
 #[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct EpochMark {
+pub struct EpochMark {
     pub cycle: u64,
     pub downs: u64,
     pub ups: u64,
@@ -191,7 +194,8 @@ pub(crate) struct EpochMark {
 /// delivery series. `marks[0]` must be the run-start snapshot at cycle 0;
 /// `final_mark` the post-run totals; `delivered_per_cycle[c]` the packets
 /// delivered in cycle `c`; `warmup` the first measured cycle.
-pub(crate) fn build_report(
+#[doc(hidden)]
+pub fn build_report(
     cfg: &ChurnConfig,
     marks: &[EpochMark],
     final_mark: EpochMark,

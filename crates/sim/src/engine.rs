@@ -47,24 +47,58 @@ struct FlushedTotals {
 }
 
 impl FlushedTotals {
-    fn flush<R: Recorder>(&mut self, rec: &R, stats: &SimStats) {
-        rec.add("sim.injected", stats.injected_total - self.injected);
-        rec.add("sim.delivered", stats.delivered_total - self.delivered);
-        rec.add("sim.timed_out", stats.timed_out_total - self.timed_out);
-        rec.add("sim.retries", stats.retries_total - self.retries);
-        rec.add("sim.abandoned", stats.abandoned_total - self.abandoned);
-        rec.add("sim.refusals", stats.injection_refusals - self.refusals);
-        rec.gauge(
-            "sim.in_flight",
-            stats.injected_total - stats.delivered_total - stats.abandoned_total,
+    fn flush<R: Recorder>(&mut self, rec: &R, stats: &SimStats) -> Result<(), SimError> {
+        let delta = |name: &'static str, total: u64, seen: u64| {
+            total.checked_sub(seen).ok_or_else(|| {
+                SimError::invariant(format!("recorder counter {name} moved backwards"))
+            })
+        };
+        rec.add(
+            "sim.injected",
+            delta("sim.injected", stats.injected_total, self.injected)?,
         );
+        rec.add(
+            "sim.delivered",
+            delta("sim.delivered", stats.delivered_total, self.delivered)?,
+        );
+        rec.add(
+            "sim.timed_out",
+            delta("sim.timed_out", stats.timed_out_total, self.timed_out)?,
+        );
+        rec.add(
+            "sim.retries",
+            delta("sim.retries", stats.retries_total, self.retries)?,
+        );
+        rec.add(
+            "sim.abandoned",
+            delta("sim.abandoned", stats.abandoned_total, self.abandoned)?,
+        );
+        rec.add(
+            "sim.refusals",
+            delta("sim.refusals", stats.injection_refusals, self.refusals)?,
+        );
+        rec.gauge("sim.in_flight", in_flight(stats)?);
         self.injected = stats.injected_total;
         self.delivered = stats.delivered_total;
         self.timed_out = stats.timed_out_total;
         self.retries = stats.retries_total;
         self.abandoned = stats.abandoned_total;
         self.refusals = stats.injection_refusals;
+        Ok(())
     }
+}
+
+/// Packets currently inside the network: injected minus delivered minus
+/// abandoned, with the subtraction checked so a broken counter surfaces as
+/// a typed [`SimError::Invariant`] rather than a debug-mode underflow panic.
+fn in_flight(stats: &SimStats) -> Result<u64, SimError> {
+    stats
+        .injected_total
+        .checked_sub(stats.delivered_total)
+        .and_then(|left| left.checked_sub(stats.abandoned_total))
+        .ok_or_else(|| {
+            SimError::invariant("delivered + abandoned exceed injected (counter underflow)")
+        })
 }
 
 /// Cycle-level simulator over a [`Topology`] with a path [`Policy`].
@@ -277,8 +311,20 @@ impl<'a> Simulator<'a> {
         loop {
             if now >= total {
                 // Drain: run movement-only until the network empties.
-                let inflight = stats.injected_total - stats.delivered_total - stats.abandoned_total;
-                if !self.cfg.drain || inflight == 0 || now >= total + SimConfig::DRAIN_CAP {
+                let inflight = in_flight(&stats)?;
+                if !self.cfg.drain || inflight == 0 {
+                    break;
+                }
+                if now >= total + SimConfig::DRAIN_CAP {
+                    // An armed watchdog that was mid-freeze when the drain
+                    // cap hit means nothing was moving: that is a stall,
+                    // not a normal cap exit — report it as one instead of
+                    // silently truncating the drain.
+                    if watchdog > 0 && frozen_cycles > 0 {
+                        return Err(SimError::Stalled(stall_report(
+                            now, inflight, &queues, &inject,
+                        )));
+                    }
                     break;
                 }
             }
@@ -327,7 +373,7 @@ impl<'a> Simulator<'a> {
                 // A liveness transition closes a recorder epoch: cumulative
                 // counters and the in-flight gauge at this boundary make
                 // per-epoch packet conservation auditable from the trace.
-                flushed.flush(rec, &stats);
+                flushed.flush(rec, &stats)?;
                 rec.mark_epoch(&format!("cycle={now}"));
             }
             // Re-planning: promote stabilized links, refresh the pick mask.
@@ -369,13 +415,16 @@ impl<'a> Simulator<'a> {
                     match self.policy.pick(p.src, p.dst, queue_probe, &mut rng) {
                         Some(path) if !path.is_empty() => {
                             stats.retries_total += 1;
-                            let slot = leaf_slot[p.src as usize];
-                            if slot == usize::MAX {
-                                return Err(SimError::invariant(format!(
-                                    "retransmission source {} is not a leaf",
-                                    p.src
-                                )));
-                            }
+                            let slot = leaf_slot
+                                .get(p.src as usize)
+                                .copied()
+                                .filter(|&s| s != usize::MAX)
+                                .ok_or_else(|| {
+                                    SimError::invariant(format!(
+                                        "retransmission source {} is not a leaf",
+                                        p.src
+                                    ))
+                                })?;
                             inject[slot].push_back(Packet {
                                 src: p.src,
                                 dst: p.dst,
@@ -453,7 +502,7 @@ impl<'a> Simulator<'a> {
                 let q = &mut inject[slot];
                 let eligible = matches!(
                     q.front(),
-                    Some(p) if p.ready_at <= now && p.path[p.hop] == up
+                    Some(p) if p.ready_at <= now && p.path.get(p.hop) == Some(&up)
                 );
                 if eligible {
                     let Some(p) = q.pop_front() else {
@@ -499,8 +548,8 @@ impl<'a> Simulator<'a> {
                             let q = &mut queues[inputs[idx].index()];
                             let head_ok = matches!(
                                 q.front(),
-                                Some(p) if p.ready_at <= now && p.hop < p.path.len()
-                                    && p.path[p.hop] == ChannelId(o as u32)
+                                Some(p) if p.ready_at <= now
+                                    && p.path.get(p.hop) == Some(&ChannelId(o as u32))
                             );
                             if head_ok {
                                 let Some(p) = q.pop_front() else {
@@ -551,19 +600,18 @@ impl<'a> Simulator<'a> {
                 delivered_seen = stats.delivered_total;
             }
             if watchdog > 0 {
-                let in_flight =
-                    stats.injected_total - stats.delivered_total - stats.abandoned_total;
+                let inflight = in_flight(&stats)?;
                 let signature = (
                     moves,
                     stats.delivered_total,
                     stats.abandoned_total,
                     stats.retries_total,
                 );
-                if in_flight > 0 && signature == last_signature {
+                if inflight > 0 && signature == last_signature {
                     frozen_cycles += 1;
                     if frozen_cycles >= watchdog {
                         return Err(SimError::Stalled(stall_report(
-                            now, in_flight, &queues, &inject,
+                            now, inflight, &queues, &inject,
                         )));
                     }
                 } else {
@@ -573,12 +621,11 @@ impl<'a> Simulator<'a> {
             }
             now += 1;
         }
-        stats.leftover_packets =
-            stats.injected_total - stats.delivered_total - stats.abandoned_total;
+        stats.leftover_packets = in_flight(&stats)?;
         stats.active_sources = source_injected.iter().filter(|&&b| b).count();
         rec.add("sim.cycles", now);
         if rec.is_enabled() {
-            flushed.flush(rec, &stats);
+            flushed.flush(rec, &stats)?;
             rec.mark_epoch("end");
         }
         window_latencies.sort_unstable();
@@ -706,10 +753,13 @@ impl<'a> Simulator<'a> {
         for &qi in inputs {
             let mut heads = vec![None; outputs.len()];
             for (pos, p) in queues[qi.index()].iter().enumerate() {
-                if p.ready_at > now || p.hop >= p.path.len() {
+                let Some(&next_hop) = p.path.get(p.hop) else {
+                    continue; // defensive: delivered packets never queue
+                };
+                if p.ready_at > now {
                     continue;
                 }
-                if let Some(oj) = out_slot(p.path[p.hop]) {
+                if let Some(oj) = out_slot(next_hop) {
                     if heads[oj].is_none() {
                         heads[oj] = Some(pos);
                     }
@@ -822,10 +872,9 @@ fn stall_report(
     let mut waits: Vec<Option<ChannelId>> = vec![None; queues.len()];
     for (c, q) in queues.iter().enumerate() {
         let Some(p) = q.front() else { continue };
-        if p.hop >= p.path.len() {
+        let Some(&next) = p.path.get(p.hop) else {
             continue; // defensive: delivered packets never sit in queues
-        }
-        let next = p.path[p.hop];
+        };
         strands.push(Strand {
             src: p.src,
             dst: p.dst,
@@ -837,14 +886,14 @@ fn stall_report(
     }
     for q in inject {
         let Some(p) = q.front() else { continue };
-        if p.hop >= p.path.len() {
+        let Some(&next) = p.path.get(p.hop) else {
             continue;
-        }
+        };
         strands.push(Strand {
             src: p.src,
             dst: p.dst,
             holds: None,
-            waits_for: p.path[p.hop],
+            waits_for: next,
             queued: q.len(),
         });
     }

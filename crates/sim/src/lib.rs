@@ -50,6 +50,8 @@ pub mod witness;
 pub mod workload;
 
 pub use batch::{sweep_injection_rates, sweep_injection_rates_isolated, ThroughputPoint};
+#[doc(hidden)]
+pub use churn::{build_report, EpochMark};
 pub use churn::{ChurnConfig, ChurnReport, EpochStats, ReplanMode};
 pub use config::{Arbiter, SimConfig};
 pub use engine::Simulator;

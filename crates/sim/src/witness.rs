@@ -264,6 +264,33 @@ mod tests {
     }
 
     #[test]
+    fn drain_cap_with_armed_watchdog_reports_stall() {
+        // Regression: a watchdog too long to fire before the drain cap used
+        // to let a wedged run exit silently through the cap, coming back as
+        // mere leftover packets. The cap exit must report the stall instead
+        // when the watchdog was armed and mid-freeze.
+        let ft = Ftree::new(1, 1, 4).unwrap();
+        let err = run_pinned_injection_watchdog(
+            ft.topology(),
+            &valley_routes(&ft),
+            50,
+            2,
+            2 * SimConfig::DRAIN_CAP, // cannot reach the threshold in time
+            0xDEAD,
+        )
+        .unwrap_err();
+        let SimError::Stalled(report) = err else {
+            panic!("expected Stalled at the drain cap, got {err}");
+        };
+        assert_eq!(report.cycle, 50 + SimConfig::DRAIN_CAP);
+        assert!(report.in_flight > 0);
+        assert!(
+            !report.wait_cycle.is_empty(),
+            "valley wedge is a circular credit wait: {report:?}"
+        );
+    }
+
+    #[test]
     fn watchdog_stays_quiet_on_clean_runs() {
         // Up*/down* control routes drain completely; the watchdog must not
         // fire and the statistics must match the unwatched run exactly.

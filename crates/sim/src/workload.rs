@@ -98,10 +98,11 @@ impl Workload {
     /// The destination for a packet from `src` this cycle, or `None` if
     /// `src` never injects. Random workloads consult `draw` (a uniform
     /// sample in `0..ports-1` excluding `src`, supplied by the engine's
-    /// RNG).
+    /// RNG). A `src` outside the workload's universe never injects (rather
+    /// than panicking on a topology with more leaves than the pattern).
     pub fn destination(&self, src: u32, mut draw: impl FnMut(u32) -> u32) -> Option<u32> {
         match &self.kind {
-            WorkloadKind::Fixed(dest) => dest[src as usize],
+            WorkloadKind::Fixed(dest) => dest.get(src as usize).copied().flatten(),
             WorkloadKind::UniformRandom { ports } => {
                 let x = draw(*ports - 1);
                 Some(if x >= src { x + 1 } else { x })

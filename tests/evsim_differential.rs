@@ -1,0 +1,251 @@
+//! Differential properties pinning the event-driven engine
+//! (`ftclos::evsim::EventSimulator`) to the cycle-level oracle
+//! (`ftclos::sim::Simulator`).
+//!
+//! The contract is *exact replay*, not statistical agreement: for any
+//! topology shape, policy, workload, seed, fault schedule, and churn
+//! configuration, the two engines must produce an identical `SimStats` —
+//! every counter, every latency percentile, the full per-channel busy
+//! vector — and identical churn reports and identical errors. Anything
+//! less means the event engine changed semantics, not just schedule.
+
+use ftclos::evsim::EventSimulator;
+use ftclos::routing::{DModK, ObliviousMultipath, SpreadPolicy, XgftRouter, YuanRecursive};
+use ftclos::sim::{
+    Arbiter, ChurnConfig, ChurnSchedule, FaultSchedule, Policy, ReplanMode, SimConfig, SimStats,
+    Simulator, Workload,
+};
+use ftclos::topo::{kary_ntree, Ftree, RecursiveNonblocking, Topology};
+use ftclos::traffic::patterns;
+use proptest::prelude::*;
+
+/// Run both engines on identical inputs; the stats must be equal field for
+/// field (including `channel_busy`) and conserve packets.
+fn assert_exact_agreement(
+    topo: &Topology,
+    cfg: SimConfig,
+    policy: &Policy,
+    w: &Workload,
+    seed: u64,
+    faults: &FaultSchedule,
+) -> SimStats {
+    let oracle = Simulator::new(topo, cfg, policy.clone()).try_run_with_faults(w, seed, faults);
+    let event = EventSimulator::new(topo, cfg, policy.clone()).try_run_with_faults(w, seed, faults);
+    let (oracle, event) = match (oracle, event) {
+        (Ok(o), Ok(e)) => (o, e),
+        (o, e) => {
+            // Errors (e.g. a watchdog stall) must also be identical.
+            assert_eq!(o, e, "engines disagree on the run outcome");
+            return SimStats::default();
+        }
+    };
+    assert_eq!(oracle, event, "engines diverged");
+    assert!(oracle.conservation_ok(), "oracle lost packets: {oracle:?}");
+    event
+}
+
+/// Decode a small integer into an arbiter (the vendored proptest shim has
+/// no `prop_oneof`, so choices are drawn as indices).
+fn arbiter_from(pick: u8) -> Arbiter {
+    match pick % 3 {
+        0 => Arbiter::HolFifo,
+        k => Arbiter::Voq { iterations: k },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random ftree shapes, rates, seeds, and arbiters: congested or not,
+    /// the engines agree exactly.
+    #[test]
+    fn ftree_shapes_agree_exactly(
+        (n, m, r) in (1usize..3, 1usize..5, 2usize..5),
+        rate in 0.1f64..1.0,
+        seed in 0u64..1u64 << 48,
+        arbiter_pick in 0u8..6,
+        drain in proptest::bool::ANY,
+    ) {
+        let ft = Ftree::new(n, m, r).unwrap();
+        let policy = Policy::from_single_path(&DModK::new(&ft));
+        let ports = ft.num_leaves() as u32;
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 400,
+            arbiter: arbiter_from(arbiter_pick),
+            drain,
+            ..SimConfig::default()
+        };
+        assert_exact_agreement(
+            ft.topology(),
+            cfg,
+            &policy,
+            &Workload::uniform_random(ports, rate),
+            seed,
+            &FaultSchedule::new(),
+        );
+    }
+
+    /// Random fault masks with TTL and retries: the timeout sweep order,
+    /// retry RNG draws, and fault transitions replay identically.
+    #[test]
+    fn fault_masks_agree_exactly(
+        num_kills in 0usize..5,
+        kills in ((50u64..500, 0usize..16), (50u64..500, 0usize..16),
+                  (50u64..500, 0usize..16), (50u64..500, 0usize..16)),
+        seed in 0u64..1u64 << 48,
+        rate in 0.2f64..0.9,
+    ) {
+        let ft = Ftree::new(2, 4, 4).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let policy = Policy::from_multipath(&mp, true);
+        let mut faults = FaultSchedule::new();
+        let kills = [kills.0, kills.1, kills.2, kills.3];
+        for &(cycle, c) in kills.iter().take(num_kills) {
+            // Kill an uplink of some edge switch; revive it later.
+            faults.kill_link(cycle, ft.topology(), ft.up_channel(c % 4, c / 4));
+            faults.revive_link(cycle + 150, ft.topology(), ft.up_channel(c % 4, c / 4));
+        }
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 500,
+            ttl_cycles: 40,
+            retry: true,
+            retry_limit: 5,
+            drain: true,
+            ..SimConfig::default()
+        };
+        let perm = patterns::shift(8, 3);
+        let stats = assert_exact_agreement(
+            ft.topology(),
+            cfg,
+            &policy,
+            &Workload::permutation(&perm, rate),
+            seed,
+            &faults,
+        );
+        prop_assert!(stats.conservation_ok());
+    }
+
+    /// Churn with every replan mode: per-epoch reports (availability,
+    /// reconvergence, transition counts) agree exactly too.
+    #[test]
+    fn churn_epochs_agree_exactly(
+        down in 100u64..400,
+        outage in 50u64..300,
+        seed in 0u64..1u64 << 48,
+        mode_pick in 0usize..3,
+    ) {
+        let ft = Ftree::new(2, 4, 4).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let mut schedule = ChurnSchedule::new();
+        schedule.kill_link(down, ft.topology(), ft.up_channel(0, 1));
+        schedule.revive_link(down + outage, ft.topology(), ft.up_channel(0, 1));
+        let mode = [
+            ReplanMode::Pinned,
+            ReplanMode::PerCycle,
+            ReplanMode::Hysteresis { k: 100 },
+        ][mode_pick];
+        let churn = ChurnConfig { mode, epsilon: 0.1, recovery_window: 50 };
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 800,
+            ttl_cycles: 50,
+            drain: true,
+            ..SimConfig::default()
+        };
+        let perm = patterns::shift(8, 3);
+        let w = Workload::permutation(&perm, 0.5);
+        let (oracle, oracle_report) =
+            Simulator::new(ft.topology(), cfg, Policy::from_multipath(&mp, true))
+                .try_run_churn(&w, seed, &schedule, &churn)
+                .unwrap();
+        let (event, event_report) =
+            EventSimulator::new(ft.topology(), cfg, Policy::from_multipath(&mp, true))
+                .try_run_churn(&w, seed, &schedule, &churn)
+                .unwrap();
+        prop_assert_eq!(oracle, event, "stats diverged under {:?}", mode);
+        prop_assert_eq!(oracle_report, event_report, "reports diverged under {:?}", mode);
+    }
+
+    /// k-ary n-tree shapes (multi-level XGFT topologies): the worklist
+    /// arbitration generalizes beyond two-level ftrees.
+    #[test]
+    fn kary_ntree_agrees_exactly(
+        (k, levels) in (2usize..4, 2usize..4),
+        shift in 1usize..5,
+        seed in 0u64..1u64 << 48,
+        arbiter_pick in 0u8..6,
+    ) {
+        let t = kary_ntree(k, levels).unwrap();
+        let router = XgftRouter::dmod(&t);
+        let policy = Policy::from_single_path(&router);
+        let ports = t.num_leaves() as u32;
+        let perm = patterns::shift(ports, shift as u32 % ports.max(1));
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 300,
+            arbiter: arbiter_from(arbiter_pick),
+            drain: true,
+            ..SimConfig::default()
+        };
+        assert_exact_agreement(
+            t.topology(),
+            cfg,
+            &policy,
+            &Workload::permutation(&perm, 0.8),
+            seed,
+            &FaultSchedule::new(),
+        );
+    }
+}
+
+/// The recursive three-level nonblocking construction — the shape the
+/// event engine exists for — agrees exactly at a testable size.
+#[test]
+fn recursive_three_level_agrees_exactly() {
+    let net = RecursiveNonblocking::new(2).unwrap();
+    let router = YuanRecursive::new(&net);
+    let policy = Policy::from_single_path(&router);
+    let ports = net.topology().num_leaves() as u32;
+    let perm = patterns::shift(ports, 5);
+    let cfg = SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 400,
+        drain: true,
+        ..SimConfig::default()
+    };
+    let stats = assert_exact_agreement(
+        net.topology(),
+        cfg,
+        &policy,
+        &Workload::permutation(&perm, 0.7),
+        11,
+        &FaultSchedule::new(),
+    );
+    assert!(stats.delivered_total > 0);
+    assert_eq!(stats.leftover_packets, 0, "nonblocking fabric must drain");
+}
+
+/// Line rate on a provably nonblocking fabric: the event engine preserves
+/// the paper's headline result (Theorem 3 routing sustains rate 1.0).
+#[test]
+fn event_engine_preserves_nonblocking_line_rate() {
+    let ft = Ftree::new(2, 4, 5).unwrap();
+    let router = ftclos::routing::YuanDeterministic::new(&ft).unwrap();
+    let policy = Policy::from_single_path(&router);
+    let perm = patterns::shift(10, 3);
+    let cfg = SimConfig {
+        warmup_cycles: 300,
+        measure_cycles: 1_200,
+        ..SimConfig::default()
+    };
+    let stats = EventSimulator::new(ft.topology(), cfg, policy)
+        .try_run(&Workload::permutation(&perm, 1.0), 3)
+        .unwrap();
+    assert!(
+        stats.accepted_throughput() > 0.99,
+        "nonblocking fabric must sustain line rate: {}",
+        stats.accepted_throughput()
+    );
+}

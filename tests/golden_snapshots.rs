@@ -130,6 +130,61 @@ fn verify_trace_shape_is_stable() {
     assert_matches_golden("verify_trace_2_4_5.json", &doc.write());
 }
 
+/// The event engine's user-facing text output, pristine: byte-identical to
+/// the cycle engine's report apart from the engine tag in the header.
+#[test]
+fn simulate_event_text_is_stable() {
+    let args = "simulate 2 4 5 --pattern shift:3 --rate 0.9 --cycles 600 --seed 5";
+    let event = cli(&format!("{args} --engine event"));
+    assert_matches_golden("simulate_event_2_4_5.txt", &event);
+    let cycle = cli(&format!("{args} --engine cycle"));
+    assert_eq!(
+        cycle.replace("(HolFifo)", "(HolFifo, event engine)"),
+        event,
+        "engines must emit the same report apart from the tag"
+    );
+}
+
+/// The event engine's JSON output, pristine.
+#[test]
+fn simulate_event_json_is_stable() {
+    assert_matches_golden(
+        "simulate_event_2_4_5.json",
+        &cli(
+            "simulate 2 4 5 --pattern shift:3 --rate 0.9 --cycles 600 --seed 5 \
+              --engine event --json",
+        ),
+    );
+}
+
+/// A faulted event-engine run: two uplinks of edge switch 0 die mid-run;
+/// the outage line, degraded throughput, and leftovers are deterministic.
+#[test]
+fn simulate_event_faulted_text_is_stable() {
+    assert_matches_golden(
+        "simulate_event_2_4_5_faulted.txt",
+        &cli(
+            "simulate 2 4 5 --pattern shift:3 --rate 0.9 --cycles 600 --seed 5 \
+              --engine event --fail-uplinks 2",
+        ),
+    );
+}
+
+/// The faulted run in JSON — and field-for-field agreement with the cycle
+/// engine under the same faults.
+#[test]
+fn simulate_event_faulted_json_is_stable() {
+    let args = "simulate 2 4 5 --pattern shift:3 --rate 0.9 --cycles 600 --seed 5 \
+                --fail-uplinks 2 --json";
+    let event = cli(&format!("{args} --engine event"));
+    assert_matches_golden("simulate_event_2_4_5_faulted.json", &event);
+    let cycle = cli(&format!("{args} --engine cycle"));
+    assert_eq!(
+        cycle.replace("\"engine\":\"cycle\"", "\"engine\":\"event\""),
+        event
+    );
+}
+
 /// The simulate command's trace: sim counters must conserve packets
 /// (injected = delivered + abandoned + in-flight) in the final state.
 #[test]
