@@ -37,6 +37,16 @@
 //! three-level construction at n = 18 (110 808 ports) — inside a
 //! wall-clock budget the cycle engine cannot even approach.
 //!
+//! E25 — sparse lazy simulator state + compact topology: fabric cost must
+//! scale with *touched* state, not total channels. The recursive n = 24
+//! fabric (345 600 hosts, ~415M directed channels) must build + route +
+//! simulate end-to-end under the same 120 s budget, reporting the
+//! build/route/run split, `Topology::memory_bytes()`, touched channels,
+//! paged-state bytes, and process peak RSS; then a first million-host run
+//! (`ftree(16+16, 65536)`, 1 048 576 ports) must complete inside its own
+//! wall-clock budget. A peak-RSS ceiling turns any return to dense
+//! `vec![...; num_channels]` state into a CI failure instead of an OOM.
+//!
 //! Results land in `BENCH_core.json` (hand-rolled JSON, stable key order)
 //! next to the working directory for CI artifact upload. Exits nonzero when
 //! any claim — including the ≥10× speedup — fails.
@@ -148,6 +158,21 @@ fn json_f64(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// Peak resident set of this process (`VmHWM`) in MiB, from
+/// `/proc/self/status`. `None` off Linux — the RSS gate then reports null
+/// and does not vote.
+fn peak_rss_mib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kib: u64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kib / 1024)
 }
 
 fn main() -> ExitCode {
@@ -503,15 +528,19 @@ fn run() -> Result<bool, BenchError> {
     let (e24_route_s, r_routes) = time_once(|| route_all(&YuanRecursive::new(&net), &r_perm));
     let r_routes = r_routes?;
     let r_w = Workload::permutation(&r_perm, 0.02);
-    let (e24_run_s, r_stats) = time_once(|| {
-        EventSimulator::new(net.topology(), e24_cfg, Policy::from_assignment(&r_routes))
-            .try_run(&r_w, SEED)
-    });
+    let mut r_sim =
+        EventSimulator::new(net.topology(), e24_cfg, Policy::from_assignment(&r_routes));
+    let (e24_run_s, r_stats) = time_once(|| r_sim.try_run(&r_w, SEED));
     let r_stats = r_stats?;
+    let e24_arena = r_sim.into_arena();
+    let e24_topo_bytes = net.topology().memory_bytes();
+    let e24_touched = e24_arena.touched_channels();
     let e24_recursive_s = e24_build_s + e24_route_s + e24_run_s;
     let e24_recursive_hcs = r_hosts as f64 * e24_cycles as f64 / e24_run_s;
     result_line("e24_recursive_hosts", r_hosts);
     result_line("e24_recursive_channels", net.topology().num_channels());
+    result_line("e24_recursive_topo_bytes", e24_topo_bytes);
+    result_line("e24_recursive_touched_channels", e24_touched);
     result_line("e24_recursive_build_s", format!("{e24_build_s:.3}"));
     result_line("e24_recursive_route_s", format!("{e24_route_s:.3}"));
     result_line("e24_recursive_run_s", format!("{e24_run_s:.3}"));
@@ -532,6 +561,122 @@ fn run() -> Result<bool, BenchError> {
         e24_recursive_s < E24_BUDGET_S,
         "100k-host build + route + simulate stays under the 120 s budget",
     );
+
+    // E25 — sparse lazy simulator state. The n = 24 recursive fabric has
+    // ~415M directed channels; dense per-channel state (queues, pointers,
+    // wires, liveness) would need tens of gigabytes before the first packet
+    // moves. With the paged arena only pages a packet actually crosses
+    // materialize, so the same end-to-end budget that covered 110k hosts in
+    // E24 must now cover 345k — and the per-channel busy vector, also
+    // paged, keeps `SimStats` bit-identical to the dense engines (the
+    // differential suites above are the proof; this gate is the scale).
+    banner(
+        "E25",
+        "sparse lazy state: 345k-host gate, first million-host run",
+    );
+    let (e25_build_s, net24) = time_once(|| RecursiveNonblocking::new(24));
+    let net24 = net24?;
+    let e25_hosts = net24.num_leaves();
+    let e25_channels = net24.topology().num_channels();
+    let e25_topo_bytes = net24.topology().memory_bytes();
+    result_line("e25_fabric", "recursive(24)");
+    result_line("e25_hosts", e25_hosts);
+    result_line("e25_channels", e25_channels);
+    result_line("e25_topo_bytes", e25_topo_bytes);
+    let e25_perm = patterns::shift(e25_hosts as u32, 11);
+    let (e25_route_s, e25_routes) = time_once(|| route_all(&YuanRecursive::new(&net24), &e25_perm));
+    let e25_routes = e25_routes?;
+    let e25_w = Workload::permutation(&e25_perm, 0.02);
+    // Recorded run: the touched-state gauges ride the same `--trace`
+    // plumbing users see, and recording is differentially proven not to
+    // perturb the run.
+    let e25_reg = Registry::new();
+    let mut e25_sim = EventSimulator::new(
+        net24.topology(),
+        e24_cfg,
+        Policy::from_assignment(&e25_routes),
+    );
+    let (e25_run_s, e25_stats) = time_once(|| e25_sim.try_run_recorded(&e25_w, SEED, &e25_reg));
+    let e25_stats = e25_stats?;
+    let e25_snap = e25_reg.snapshot();
+    let e25_touched = e25_snap.gauge("evsim.touched_channels").unwrap_or(0);
+    let e25_state_bytes = e25_snap.gauge("evsim.state_bytes").unwrap_or(0);
+    let e25_total_s = e25_build_s + e25_route_s + e25_run_s;
+    result_line("e25_build_s", format!("{e25_build_s:.3}"));
+    result_line("e25_route_s", format!("{e25_route_s:.3}"));
+    result_line("e25_run_s", format!("{e25_run_s:.3}"));
+    result_line("e25_touched_channels", e25_touched);
+    result_line("e25_state_bytes", e25_state_bytes);
+    all_ok &= verdict(
+        e25_hosts > 331_000,
+        "recursive n=24 fabric exposes more than 331k host ports",
+    );
+    all_ok &= verdict(
+        e25_stats.delivered_total > 0 && e25_stats.conservation_ok(),
+        "345k-host event run delivers packets and conserves them",
+    );
+    all_ok &= verdict(
+        e25_touched > 0 && e25_touched < (e25_channels as u64) / 10,
+        "paged arena touches fewer than a tenth of the channels",
+    );
+    const E25_BUDGET_S: f64 = 120.0;
+    all_ok &= verdict(
+        e25_total_s < E25_BUDGET_S,
+        "345k-host build + route + simulate stays under the 120 s budget",
+    );
+
+    // First million-host packet run. A two-level ftree carries the port
+    // count with far fewer switches than recursive n >= 35 would need, so
+    // it is the cheapest fabric exposing 2^20 hosts; d-mod-k keeps routing
+    // closed-form at this scale.
+    let (mn, mm, mr) = (16usize, 16usize, 65_536usize);
+    let (e25m_build_s, mft) = time_once(|| Ftree::new(mn, mm, mr));
+    let mft = mft?;
+    let m_hosts = mn * mr;
+    let m_channels = mft.topology().num_channels();
+    result_line("e25_million_fabric", format!("ftree({mn}+{mm}, {mr})"));
+    result_line("e25_million_hosts", m_hosts);
+    result_line("e25_million_channels", m_channels);
+    result_line("e25_million_topo_bytes", mft.topology().memory_bytes());
+    let m_perm = patterns::shift(m_hosts as u32, 13);
+    let (e25m_route_s, m_routes) = time_once(|| route_all(&DModK::new(&mft), &m_perm));
+    let m_routes = m_routes?;
+    let m_w = Workload::permutation(&m_perm, 0.01);
+    let mut m_sim =
+        EventSimulator::new(mft.topology(), e24_cfg, Policy::from_assignment(&m_routes));
+    let (e25m_run_s, m_stats) = time_once(|| m_sim.try_run(&m_w, SEED));
+    let m_stats = m_stats?;
+    let m_touched = m_sim.into_arena().touched_channels();
+    let e25m_total_s = e25m_build_s + e25m_route_s + e25m_run_s;
+    result_line("e25_million_build_s", format!("{e25m_build_s:.3}"));
+    result_line("e25_million_route_s", format!("{e25m_route_s:.3}"));
+    result_line("e25_million_run_s", format!("{e25m_run_s:.3}"));
+    result_line("e25_million_touched_channels", m_touched);
+    all_ok &= verdict(m_hosts >= 1 << 20, "fabric exposes at least 2^20 hosts");
+    all_ok &= verdict(
+        m_stats.delivered_total > 0 && m_stats.conservation_ok(),
+        "million-host event run delivers packets and conserves them",
+    );
+    const E25_MILLION_BUDGET_S: f64 = 300.0;
+    all_ok &= verdict(
+        e25m_total_s < E25_MILLION_BUDGET_S,
+        "million-host build + route + simulate stays under the 300 s budget",
+    );
+    // Peak RSS over the whole process — every fabric above included. Dense
+    // per-channel state at n = 24 alone would add ~25 GiB; tripping this
+    // ceiling in CI is the designed failure mode for such a regression.
+    let e25_peak_rss = peak_rss_mib();
+    const E25_PEAK_RSS_MIB: u64 = 24_576;
+    match e25_peak_rss {
+        Some(mib) => {
+            result_line("e25_peak_rss_mib", mib);
+            all_ok &= verdict(
+                mib < E25_PEAK_RSS_MIB,
+                "process peak RSS stays under the 24 GiB ceiling",
+            );
+        }
+        None => result_line("e25_peak_rss_mib", "unavailable"),
+    }
 
     // Machine-readable record for CI (hand-rolled: no serde_json in-tree).
     let json = format!(
@@ -568,10 +713,27 @@ fn run() -> Result<bool, BenchError> {
          \"e24_event_host_cycles_per_sec\": {e24eh},\n  \
          \"e24_speedup\": {e24sp},\n  \
          \"e24_recursive_hosts\": {e24rh},\n  \
+         \"e24_recursive_topo_bytes\": {e24tb},\n  \
+         \"e24_recursive_touched_channels\": {e24tc},\n  \
          \"e24_recursive_build_s\": {e24rb},\n  \
          \"e24_recursive_route_s\": {e24rr},\n  \
          \"e24_recursive_run_s\": {e24rs},\n  \
-         \"e24_recursive_host_cycles_per_sec\": {e24rc},\n  \"pass\": {pass}\n}}\n",
+         \"e24_recursive_host_cycles_per_sec\": {e24rc},\n  \
+         \"e25_hosts\": {e25h},\n  \
+         \"e25_channels\": {e25ch},\n  \
+         \"e25_topo_bytes\": {e25tb},\n  \
+         \"e25_build_s\": {e25bs},\n  \
+         \"e25_route_s\": {e25rs},\n  \
+         \"e25_run_s\": {e25ns},\n  \
+         \"e25_touched_channels\": {e25tc},\n  \
+         \"e25_state_bytes\": {e25sb},\n  \
+         \"e25_million_hosts\": {e25mh},\n  \
+         \"e25_million_channels\": {e25mc},\n  \
+         \"e25_million_build_s\": {e25mb},\n  \
+         \"e25_million_route_s\": {e25mr},\n  \
+         \"e25_million_run_s\": {e25mn},\n  \
+         \"e25_million_touched_channels\": {e25mt},\n  \
+         \"e25_peak_rss_mib\": {e25pr},\n  \"pass\": {pass}\n}}\n",
         ports = n * r,
         lts = json_f64(legacy_sweep_s * 1e3),
         ets = json_f64(engine_sweep_s * 1e3),
@@ -609,10 +771,27 @@ fn run() -> Result<bool, BenchError> {
         e24eh = json_f64(e24_event_hcs),
         e24sp = json_f64(e24_speedup),
         e24rh = r_hosts,
+        e24tb = e24_topo_bytes,
+        e24tc = e24_touched,
         e24rb = json_f64(e24_build_s),
         e24rr = json_f64(e24_route_s),
         e24rs = json_f64(e24_run_s),
         e24rc = json_f64(e24_recursive_hcs),
+        e25h = e25_hosts,
+        e25ch = e25_channels,
+        e25tb = e25_topo_bytes,
+        e25bs = json_f64(e25_build_s),
+        e25rs = json_f64(e25_route_s),
+        e25ns = json_f64(e25_run_s),
+        e25tc = e25_touched,
+        e25sb = e25_state_bytes,
+        e25mh = m_hosts,
+        e25mc = m_channels,
+        e25mb = json_f64(e25m_build_s),
+        e25mr = json_f64(e25m_route_s),
+        e25mn = json_f64(e25m_run_s),
+        e25mt = m_touched,
+        e25pr = e25_peak_rss.map_or_else(|| "null".to_string(), |v| v.to_string()),
         pass = all_ok,
     );
     std::fs::write("BENCH_core.json", &json)?;

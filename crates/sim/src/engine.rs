@@ -2,10 +2,11 @@
 
 use crate::churn::{build_report, ChurnConfig, ChurnReport, EpochMark};
 use crate::config::{Arbiter, SimConfig};
-use crate::error::{SimError, StallReport, Strand};
+use crate::error::SimError;
 use crate::fault::{ChurnSchedule, FaultSchedule};
 use crate::policy::Policy;
-use crate::stats::SimStats;
+use crate::state::{stall_report, Packet, PagedVec, SimArena};
+use crate::stats::{ChannelBusy, SimStats};
 use crate::workload::Workload;
 use ftclos_obs::{Noop, Recorder};
 use ftclos_routing::LinkAdmission;
@@ -13,25 +14,6 @@ use ftclos_topo::{ChannelId, NodeId, Topology, Transition};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
-use std::sync::Arc;
-
-/// One in-flight packet.
-#[derive(Clone, Debug)]
-struct Packet {
-    src: u32,
-    dst: u32,
-    path: Arc<[ChannelId]>,
-    /// Index of the next channel to traverse.
-    hop: usize,
-    inject_cycle: u64,
-    /// Earliest cycle at which the packet may be granted its next hop
-    /// (enforces one hop per cycle and multi-flit serialization).
-    ready_at: u64,
-    /// Cycle at which this attempt times out (`u64::MAX` when TTL is off).
-    deadline: u64,
-    /// Retransmissions already consumed.
-    retries: u32,
-}
 
 /// Cumulative simulator totals already flushed to a [`Recorder`]: each
 /// flush pushes only the delta, so recorder counters stay equal to the
@@ -106,13 +88,31 @@ pub struct Simulator<'a> {
     topo: &'a Topology,
     cfg: SimConfig,
     policy: Policy,
+    arena: SimArena,
 }
 
 impl<'a> Simulator<'a> {
     /// Create a simulator. The policy must cover every pair the workload
     /// can generate (unrouteable injections are counted as refusals).
     pub fn new(topo: &'a Topology, cfg: SimConfig, policy: Policy) -> Self {
-        Self { topo, cfg, policy }
+        Self::with_arena(topo, cfg, policy, SimArena::new())
+    }
+
+    /// Create a simulator reusing a [`SimArena`] from a previous run —
+    /// repeated runs through one arena recycle state pages instead of
+    /// reallocating them. Semantically identical to [`Simulator::new`].
+    pub fn with_arena(topo: &'a Topology, cfg: SimConfig, policy: Policy, arena: SimArena) -> Self {
+        Self {
+            topo,
+            cfg,
+            policy,
+            arena,
+        }
+    }
+
+    /// Recover the arena (and its recycled pages) for the next simulator.
+    pub fn into_arena(self) -> SimArena {
+        self.arena
     }
 
     /// Run one simulation and return its statistics. `seed` drives
@@ -240,6 +240,23 @@ impl<'a> Simulator<'a> {
         churn: Option<&ChurnConfig>,
         rec: &R,
     ) -> Result<(SimStats, Option<ChurnReport>), SimError> {
+        // Detach the arena so the loop can borrow its arrays disjointly
+        // while the policy (also behind `self`) is borrowed mutably.
+        let mut arena = std::mem::take(&mut self.arena);
+        let result = self.run_loop_inner(workload, seed, faults, churn, rec, &mut arena);
+        self.arena = arena;
+        result
+    }
+
+    fn run_loop_inner<R: Recorder>(
+        &mut self,
+        workload: &Workload,
+        seed: u64,
+        faults: &ChurnSchedule,
+        churn: Option<&ChurnConfig>,
+        rec: &R,
+        arena: &mut SimArena,
+    ) -> Result<(SimStats, Option<ChurnReport>), SimError> {
         self.cfg.validate()?;
         let _span = rec.span("sim.run");
         // Counter values already pushed to the recorder (counters are
@@ -263,23 +280,17 @@ impl<'a> Simulator<'a> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let num_channels = self.topo.num_channels();
         let leaves: Vec<NodeId> = self.topo.leaves().collect();
-        // Queue of packets that crossed each channel, waiting at its dst.
-        let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); num_channels];
-        let mut inject: Vec<VecDeque<Packet>> = vec![VecDeque::new(); leaves.len()];
+        // All per-channel state (queues, arbiter pointers, wire deadlines,
+        // liveness) lives in the paged arena: allocated on first touch,
+        // recycled across runs, identical in content to the historical
+        // dense arrays because every default is synthesized arithmetically.
+        arena.prepare(num_channels, leaves.len());
         // Leaf node id -> dense leaf slot (leaves are the first node ids in
         // all our builders, but don't rely on it).
         let mut leaf_slot = vec![usize::MAX; self.topo.num_nodes()];
         for (slot, &l) in leaves.iter().enumerate() {
             leaf_slot[l.index()] = slot;
         }
-        // Round-robin grant pointer per output channel (arbiter state).
-        let mut rr = vec![0u32; num_channels];
-        // iSLIP accept pointer per input channel.
-        let mut accept_ptr = vec![0u32; num_channels];
-        // Multi-flit serialization: a channel is busy until this cycle.
-        let mut busy_until = vec![0u64; num_channels];
-        // Channels killed by fault events grant no further packets.
-        let mut dead = vec![false; num_channels];
         let flits = self.cfg.packet_flits.max(1);
         let mut source_injected = vec![false; leaves.len()];
         let mut window_latencies: Vec<u64> = Vec::new();
@@ -292,7 +303,7 @@ impl<'a> Simulator<'a> {
         let mut stats = SimStats {
             window_cycles: self.cfg.measure_cycles,
             offered_rate: workload.rate(),
-            channel_busy: vec![0; num_channels],
+            channel_busy: ChannelBusy::zeros(num_channels),
             ..SimStats::default()
         };
         let warmup = self.cfg.warmup_cycles;
@@ -322,7 +333,10 @@ impl<'a> Simulator<'a> {
                     // silently truncating the drain.
                     if watchdog > 0 && frozen_cycles > 0 {
                         return Err(SimError::Stalled(stall_report(
-                            now, inflight, &queues, &inject,
+                            now,
+                            inflight,
+                            &arena.queues,
+                            &arena.inject,
                         )));
                     }
                     break;
@@ -338,7 +352,7 @@ impl<'a> Simulator<'a> {
             while next_fault < fault_events.len() && fault_events[next_fault].cycle <= now {
                 let e = fault_events[next_fault];
                 if e.channel.index() < num_channels {
-                    dead[e.channel.index()] = e.transition == Transition::Down;
+                    *arena.dead.get_mut(e.channel.index()) = e.transition == Transition::Down;
                     match e.transition {
                         Transition::Down => downs_now += 1,
                         Transition::Up => ups_now += 1,
@@ -383,10 +397,13 @@ impl<'a> Simulator<'a> {
                     rec.add("sim.churn_replans", 1);
                 }
             }
-            // --- Timeout sweep: expire packets past their deadline ---
+            // --- Timeout sweep: expire packets past their deadline.
+            // Touched pages only, channel queues ascending then injection
+            // slots ascending — untouched queues are empty, so this is the
+            // historical full chained scan with the no-ops removed. ---
             if ttl > 0 {
                 let mut expired: Vec<Packet> = Vec::new();
-                for q in queues.iter_mut().chain(inject.iter_mut()) {
+                let mut sweep = |q: &mut VecDeque<Packet>| -> Result<(), SimError> {
                     let mut i = 0;
                     while i < q.len() {
                         if now >= q[i].deadline {
@@ -400,7 +417,10 @@ impl<'a> Simulator<'a> {
                             i += 1;
                         }
                     }
-                }
+                    Ok(())
+                };
+                arena.queues.try_for_each_touched_mut(|_, q| sweep(q))?;
+                arena.inject.try_for_each_touched_mut(|_, q| sweep(q))?;
                 for p in expired {
                     stats.timed_out_total += 1;
                     let can_retry = self.cfg.retry && p.retries < self.cfg.retry_limit;
@@ -411,7 +431,7 @@ impl<'a> Simulator<'a> {
                     // Retransmit from the source with a *fresh* path pick:
                     // spreading policies get a new chance to dodge dead
                     // hardware. Latency keeps the original injection time.
-                    let queue_probe = |c: ChannelId| queues[c.index()].len();
+                    let queue_probe = |c: ChannelId| arena.queues.get(c.index()).len();
                     match self.policy.pick(p.src, p.dst, queue_probe, &mut rng) {
                         Some(path) if !path.is_empty() => {
                             stats.retries_total += 1;
@@ -425,7 +445,7 @@ impl<'a> Simulator<'a> {
                                         p.src
                                     ))
                                 })?;
-                            inject[slot].push_back(Packet {
+                            arena.inject.get_mut(slot).push_back(Packet {
                                 src: p.src,
                                 dst: p.dst,
                                 path,
@@ -454,11 +474,13 @@ impl<'a> Simulator<'a> {
                 let Some(dst) = workload.destination(src, |n| rng.gen_range(0..n)) else {
                     continue;
                 };
-                if self.cfg.bounded_injection && inject[slot].len() >= self.cfg.queue_capacity {
+                if self.cfg.bounded_injection
+                    && arena.inject.get(slot).len() >= self.cfg.queue_capacity
+                {
                     stats.injection_refusals += 1;
                     continue;
                 }
-                let queue_probe = |c: ChannelId| queues[c.index()].len();
+                let queue_probe = |c: ChannelId| arena.queues.get(c.index()).len();
                 let Some(path) = self.policy.pick(src, dst, queue_probe, &mut rng) else {
                     stats.injection_refusals += 1;
                     continue;
@@ -476,7 +498,7 @@ impl<'a> Simulator<'a> {
                     }
                     continue;
                 }
-                inject[slot].push_back(Packet {
+                arena.inject.get_mut(slot).push_back(Packet {
                     src,
                     dst,
                     path,
@@ -496,16 +518,20 @@ impl<'a> Simulator<'a> {
                     continue;
                 };
                 let o = up.index();
-                if busy_until[o] > now || dead[o] || queues[o].len() >= self.cfg.queue_capacity {
+                if *arena.busy_until.get(o) > now
+                    || *arena.dead.get(o)
+                    || arena.queues.get(o).len() >= self.cfg.queue_capacity
+                {
                     continue;
                 }
-                let q = &mut inject[slot];
+                // Probe read-only first: popping goes through the touching
+                // accessor only when the queue is provably non-empty.
                 let eligible = matches!(
-                    q.front(),
+                    arena.inject.get(slot).front(),
                     Some(p) if p.ready_at <= now && p.path.get(p.hop) == Some(&up)
                 );
                 if eligible {
-                    let Some(p) = q.pop_front() else {
+                    let Some(p) = arena.inject.get_mut(slot).pop_front() else {
                         return Err(SimError::invariant(
                             "eligible injection-queue head disappeared",
                         ));
@@ -516,8 +542,8 @@ impl<'a> Simulator<'a> {
                         now,
                         flits,
                         in_window,
-                        &mut queues,
-                        &mut busy_until,
+                        &mut arena.queues,
+                        &mut arena.busy_until,
                         &mut stats,
                         &mut window_latencies,
                         &mut moves,
@@ -528,7 +554,7 @@ impl<'a> Simulator<'a> {
             match self.cfg.arbiter {
                 Arbiter::HolFifo => {
                     for o in 0..num_channels {
-                        if busy_until[o] > now || dead[o] {
+                        if *arena.busy_until.get(o) > now || *arena.dead.get(o) {
                             continue; // wire occupied, or killed by a fault
                         }
                         let ch = self.topo.channel(ChannelId(o as u32));
@@ -536,36 +562,36 @@ impl<'a> Simulator<'a> {
                             continue; // injection links handled above
                         }
                         let to_leaf = self.topo.kind(ch.dst).is_leaf();
-                        if !to_leaf && queues[o].len() >= self.cfg.queue_capacity {
+                        if !to_leaf && arena.queues.get(o).len() >= self.cfg.queue_capacity {
                             continue; // no downstream credit
                         }
                         // Round-robin over the switch's input-queue *heads*.
                         let inputs = self.topo.in_channels(ch.src);
                         let n_in = inputs.len();
-                        let start = rr[o] as usize % n_in.max(1);
+                        let start = *arena.rr.get(o) as usize % n_in.max(1);
                         for k in 0..n_in {
                             let idx = (start + k) % n_in;
-                            let q = &mut queues[inputs[idx].index()];
+                            let qi = inputs[idx].index();
                             let head_ok = matches!(
-                                q.front(),
+                                arena.queues.get(qi).front(),
                                 Some(p) if p.ready_at <= now
                                     && p.path.get(p.hop) == Some(&ChannelId(o as u32))
                             );
                             if head_ok {
-                                let Some(p) = q.pop_front() else {
+                                let Some(p) = arena.queues.get_mut(qi).pop_front() else {
                                     return Err(SimError::invariant(
                                         "eligible input-queue head disappeared",
                                     ));
                                 };
-                                rr[o] = (idx as u32 + 1) % n_in as u32;
+                                *arena.rr.get_mut(o) = (idx as u32 + 1) % n_in as u32;
                                 self.advance(
                                     p,
                                     o,
                                     now,
                                     flits,
                                     in_window,
-                                    &mut queues,
-                                    &mut busy_until,
+                                    &mut arena.queues,
+                                    &mut arena.busy_until,
                                     &mut stats,
                                     &mut window_latencies,
                                     &mut moves,
@@ -583,11 +609,11 @@ impl<'a> Simulator<'a> {
                             now,
                             flits,
                             in_window,
-                            &mut queues,
-                            &mut busy_until,
-                            &dead,
-                            &mut rr,
-                            &mut accept_ptr,
+                            &mut arena.queues,
+                            &mut arena.busy_until,
+                            &arena.dead,
+                            &mut arena.rr,
+                            &mut arena.accept_ptr,
                             &mut stats,
                             &mut window_latencies,
                             &mut moves,
@@ -611,7 +637,10 @@ impl<'a> Simulator<'a> {
                     frozen_cycles += 1;
                     if frozen_cycles >= watchdog {
                         return Err(SimError::Stalled(stall_report(
-                            now, inflight, &queues, &inject,
+                            now,
+                            inflight,
+                            &arena.queues,
+                            &arena.inject,
                         )));
                     }
                 } else {
@@ -670,8 +699,8 @@ impl<'a> Simulator<'a> {
         now: u64,
         flits: u64,
         in_window: bool,
-        queues: &mut [VecDeque<Packet>],
-        busy_until: &mut [u64],
+        queues: &mut PagedVec<VecDeque<Packet>>,
+        busy_until: &mut PagedVec<u64>,
         stats: &mut SimStats,
         window_latencies: &mut Vec<u64>,
         moves: &mut u64,
@@ -683,9 +712,9 @@ impl<'a> Simulator<'a> {
         // The wire serializes `flits` flits; the packet cannot be forwarded
         // again (cut-through is not modeled) until the tail flit arrives.
         p.ready_at = now + flits;
-        busy_until[o] = now + flits;
+        *busy_until.get_mut(o) = now + flits;
         if in_window {
-            stats.channel_busy[o] += flits;
+            stats.channel_busy.add(o, flits);
         }
         if to_leaf {
             if ch.dst.0 != p.dst {
@@ -710,7 +739,7 @@ impl<'a> Simulator<'a> {
                 window_latencies.push(lat);
             }
         } else {
-            queues[o].push_back(p);
+            queues.get_mut(o).push_back(p);
         }
         Ok(())
     }
@@ -730,11 +759,11 @@ impl<'a> Simulator<'a> {
         now: u64,
         flits: u64,
         in_window: bool,
-        queues: &mut [VecDeque<Packet>],
-        busy_until: &mut [u64],
-        dead: &[bool],
-        grant_ptr: &mut [u32],
-        accept_ptr: &mut [u32],
+        queues: &mut PagedVec<VecDeque<Packet>>,
+        busy_until: &mut PagedVec<u64>,
+        dead: &PagedVec<bool>,
+        grant_ptr: &mut PagedVec<u32>,
+        accept_ptr: &mut PagedVec<u32>,
         stats: &mut SimStats,
         window_latencies: &mut Vec<u64>,
         moves: &mut u64,
@@ -752,7 +781,7 @@ impl<'a> Simulator<'a> {
         let mut voq_head: Vec<Vec<Option<usize>>> = Vec::with_capacity(inputs.len());
         for &qi in inputs {
             let mut heads = vec![None; outputs.len()];
-            for (pos, p) in queues[qi.index()].iter().enumerate() {
+            for (pos, p) in queues.get(qi.index()).iter().enumerate() {
                 let Some(&next_hop) = p.path.get(p.hop) else {
                     continue; // defensive: delivered packets never queue
                 };
@@ -771,12 +800,12 @@ impl<'a> Simulator<'a> {
         let out_ok: Vec<bool> = outputs
             .iter()
             .map(|&o| {
-                if busy_until[o.index()] > now || dead[o.index()] {
+                if *busy_until.get(o.index()) > now || *dead.get(o.index()) {
                     return false;
                 }
                 let ch = self.topo.channel(o);
                 self.topo.kind(ch.dst).is_leaf()
-                    || queues[o.index()].len() < self.cfg.queue_capacity
+                    || queues.get(o.index()).len() < self.cfg.queue_capacity
             })
             .collect();
 
@@ -792,7 +821,7 @@ impl<'a> Simulator<'a> {
                 if out_matched[oj] || !out_ok[oj] {
                     continue;
                 }
-                let start = grant_ptr[o.index()] as usize % inputs.len();
+                let start = *grant_ptr.get(o.index()) as usize % inputs.len();
                 for k in 0..inputs.len() {
                     let ii = (start + k) % inputs.len();
                     if !in_matched[ii] && voq_head[ii][oj].is_some() {
@@ -813,7 +842,7 @@ impl<'a> Simulator<'a> {
                     continue;
                 }
                 let qi = inputs[ii];
-                let start = accept_ptr[qi.index()] as usize % outputs.len();
+                let start = *accept_ptr.get(qi.index()) as usize % outputs.len();
                 let Some(&oj) = granted
                     .iter()
                     .min_by_key(|&&oj| (oj + outputs.len() - start) % outputs.len())
@@ -824,8 +853,8 @@ impl<'a> Simulator<'a> {
                 out_matched[oj] = true;
                 matches.push((ii, oj));
                 if iter == 0 {
-                    grant_ptr[outputs[oj].index()] = ((ii + 1) % inputs.len()) as u32;
-                    accept_ptr[qi.index()] = ((oj + 1) % outputs.len()) as u32;
+                    *grant_ptr.get_mut(outputs[oj].index()) = ((ii + 1) % inputs.len()) as u32;
+                    *accept_ptr.get_mut(qi.index()) = ((oj + 1) % outputs.len()) as u32;
                 }
             }
         }
@@ -836,7 +865,7 @@ impl<'a> Simulator<'a> {
                     "iSLIP matched an input with no eligible VOQ head",
                 ));
             };
-            let Some(p) = queues[inputs[ii].index()].remove(pos) else {
+            let Some(p) = queues.get_mut(inputs[ii].index()).remove(pos) else {
                 return Err(SimError::invariant("iSLIP VOQ head position out of range"));
             };
             self.advance(
@@ -854,99 +883,6 @@ impl<'a> Simulator<'a> {
         }
         Ok(())
     }
-}
-
-/// Build the watchdog's diagnosis from the frozen queue state: one
-/// [`Strand`] per blocked queue head (channel queues by ascending id, then
-/// injection queues by slot) and the credit wait-for cycle among held
-/// channels, if one exists.
-fn stall_report(
-    cycle: u64,
-    in_flight: u64,
-    queues: &[VecDeque<Packet>],
-    inject: &[VecDeque<Packet>],
-) -> StallReport {
-    let mut strands = Vec::new();
-    // Functional wait-for graph over channels: `waits[c]` is the channel
-    // the head packet of `queues[c]` needs next (`None` when empty).
-    let mut waits: Vec<Option<ChannelId>> = vec![None; queues.len()];
-    for (c, q) in queues.iter().enumerate() {
-        let Some(p) = q.front() else { continue };
-        let Some(&next) = p.path.get(p.hop) else {
-            continue; // defensive: delivered packets never sit in queues
-        };
-        strands.push(Strand {
-            src: p.src,
-            dst: p.dst,
-            holds: Some(ChannelId(c as u32)),
-            waits_for: next,
-            queued: q.len(),
-        });
-        waits[c] = Some(next);
-    }
-    for q in inject {
-        let Some(p) = q.front() else { continue };
-        let Some(&next) = p.path.get(p.hop) else {
-            continue;
-        };
-        strands.push(Strand {
-            src: p.src,
-            dst: p.dst,
-            holds: None,
-            waits_for: next,
-            queued: q.len(),
-        });
-    }
-    StallReport {
-        cycle,
-        in_flight,
-        strands,
-        wait_cycle: find_wait_cycle(&waits),
-    }
-}
-
-/// First cycle of the functional graph `waits`, walking from the lowest
-/// channel id; rotated to start at its smallest member. Deterministic:
-/// no iteration order depends on anything but channel ids.
-fn find_wait_cycle(waits: &[Option<ChannelId>]) -> Vec<ChannelId> {
-    // 0 = unvisited, 1 = on the current walk, 2 = exhausted.
-    let mut color = vec![0u8; waits.len()];
-    for start in 0..waits.len() {
-        if color[start] != 0 || waits[start].is_none() {
-            continue;
-        }
-        let mut walk: Vec<usize> = Vec::new();
-        let mut cur = start;
-        loop {
-            color[cur] = 1;
-            walk.push(cur);
-            let Some(next) = waits[cur] else { break };
-            let next = next.index();
-            if next >= waits.len() || color[next] == 2 {
-                break;
-            }
-            if color[next] == 1 {
-                // Found a cycle: the walk tail from `next`'s position.
-                let pos = walk.iter().position(|&c| c == next).unwrap_or(0);
-                let mut cycle: Vec<ChannelId> =
-                    walk[pos..].iter().map(|&c| ChannelId(c as u32)).collect();
-                if let Some(min_pos) = cycle
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, c)| c.0)
-                    .map(|(i, _)| i)
-                {
-                    cycle.rotate_left(min_pos);
-                }
-                return cycle;
-            }
-            cur = next;
-        }
-        for c in walk {
-            color[c] = 2;
-        }
-    }
-    Vec::new()
 }
 
 #[cfg(test)]

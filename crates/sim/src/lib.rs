@@ -45,6 +45,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod policy;
+pub mod state;
 pub mod stats;
 pub mod witness;
 pub mod workload;
@@ -58,7 +59,10 @@ pub use engine::Simulator;
 pub use error::{ConfigError, SimError, StallReport, Strand};
 pub use fault::{ChurnSchedule, FaultEvent, FaultSchedule};
 pub use policy::Policy;
-pub use stats::{SimStats, UtilizationHistogram};
+#[doc(hidden)]
+pub use state::{stall_report, Packet};
+pub use state::{PagedVec, SimArena};
+pub use stats::{ChannelBusy, SimStats, UtilizationHistogram};
 pub use witness::{
     run_pinned_injection, run_pinned_injection_recorded, run_pinned_injection_watchdog,
     run_pinned_injection_watchdog_recorded, PinnedRoute, WitnessRun,

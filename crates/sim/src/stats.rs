@@ -1,5 +1,6 @@
 //! Simulation statistics.
 
+use crate::state::PagedVec;
 use serde::{Deserialize, Serialize};
 
 /// Counters collected over a run; latency figures cover packets *delivered
@@ -46,8 +47,10 @@ pub struct SimStats {
     /// Offered injection rate (packets/cycle/source) of the workload.
     pub offered_rate: f64,
     /// Per-channel busy cycles during the measurement window, indexed by
-    /// channel id. Divide by `window_cycles` for utilization.
-    pub channel_busy: Vec<u64>,
+    /// channel id. Divide by `window_cycles` for utilization. Accumulated
+    /// sparsely — memory scales with channels that carried traffic, not
+    /// with fabric size; see [`ChannelBusy`].
+    pub channel_busy: ChannelBusy,
 }
 
 impl SimStats {
@@ -97,19 +100,13 @@ impl SimStats {
         if self.window_cycles == 0 {
             return 0.0;
         }
-        self.channel_busy.get(id).copied().unwrap_or(0) as f64 / self.window_cycles as f64
+        self.channel_busy.get(id) as f64 / self.window_cycles as f64
     }
 
     /// The `k` busiest channels as `(channel index, utilization)`, sorted
     /// descending — the congestion hot spots.
     pub fn hottest_channels(&self, k: usize) -> Vec<(usize, f64)> {
-        let mut v: Vec<(usize, u64)> = self
-            .channel_busy
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|&(_, b)| b > 0)
-            .collect();
+        let mut v: Vec<(usize, u64)> = self.channel_busy.nonzero().collect();
         v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v.into_iter()
@@ -122,11 +119,107 @@ impl SimStats {
     pub fn utilization_histogram(&self) -> UtilizationHistogram {
         UtilizationHistogram::from_utilizations(
             self.channel_busy
-                .iter()
-                .enumerate()
-                .filter(|&(_, &b)| b > 0)
+                .nonzero()
                 .map(|(i, _)| self.channel_utilization(i)),
         )
+    }
+}
+
+/// Per-channel busy-cycle accumulator with sparse, lazily-paged backing.
+///
+/// Semantically a `vec![0u64; num_channels]`; physically it materializes
+/// only the pages of channels that actually accumulated busy cycles, so a
+/// million-host run's stats cost `O(traffic-carrying channels)` instead of
+/// one word per directed channel. Equality, accessors, and iteration are
+/// defined over *logical* content — two accumulators with the same length
+/// and the same nonzero entries are equal regardless of which pages happen
+/// to be materialized — which is what keeps [`SimStats`] byte-identical
+/// between the dense-prefilled and sparse engine configurations.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ChannelBusy {
+    busy: PagedVec<u64>,
+}
+
+impl ChannelBusy {
+    /// A logical all-zeros accumulator for `num_channels` channels.
+    pub fn zeros(num_channels: usize) -> Self {
+        Self {
+            busy: PagedVec::new(num_channels, 0),
+        }
+    }
+
+    /// Logical length (the fabric's channel count).
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// Accumulate `cycles` busy cycles on channel `id`.
+    ///
+    /// # Panics
+    /// If `id >= len()`.
+    #[inline]
+    pub fn add(&mut self, id: usize, cycles: u64) {
+        *self.busy.get_mut(id) += cycles;
+    }
+
+    /// Busy cycles of channel `id` (0 when untouched or out of range).
+    pub fn get(&self, id: usize) -> u64 {
+        if id < self.busy.len() {
+            *self.busy.get(id)
+        } else {
+            0
+        }
+    }
+
+    /// `(channel id, busy cycles)` for channels with nonzero counts,
+    /// ascending by id.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.busy
+            .iter_touched()
+            .filter(|&(_, &b)| b > 0)
+            .map(|(i, &b)| (i, b))
+    }
+
+    /// Densify on demand into the historical `Vec<u64>` layout.
+    pub fn to_vec(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.busy.len()];
+        for (i, b) in self.nonzero() {
+            v[i] = b;
+        }
+        v
+    }
+
+    /// Channels covered by materialized pages (accounting, not semantics).
+    pub fn touched_channels(&self) -> usize {
+        self.busy.touched_entries()
+    }
+
+    /// Backing bytes currently allocated.
+    pub fn state_bytes(&self) -> usize {
+        self.busy.state_bytes()
+    }
+}
+
+impl PartialEq for ChannelBusy {
+    fn eq(&self, other: &Self) -> bool {
+        self.busy.len() == other.busy.len() && self.nonzero().eq(other.nonzero())
+    }
+}
+
+impl From<Vec<u64>> for ChannelBusy {
+    fn from(dense: Vec<u64>) -> Self {
+        let mut cb = Self::zeros(dense.len());
+        for (i, b) in dense.into_iter().enumerate() {
+            if b > 0 {
+                cb.add(i, b);
+            }
+        }
+        cb
     }
 }
 
@@ -229,7 +322,7 @@ mod tests {
     fn stats_histogram_counts_used_channels_only() {
         let s = SimStats {
             window_cycles: 100,
-            channel_busy: vec![0, 50, 100, 25],
+            channel_busy: vec![0, 50, 100, 25].into(),
             ..SimStats::default()
         };
         let h = s.utilization_histogram();
@@ -243,7 +336,7 @@ mod tests {
     fn utilization_and_hotspots() {
         let s = SimStats {
             window_cycles: 100,
-            channel_busy: vec![0, 50, 100, 25],
+            channel_busy: vec![0, 50, 100, 25].into(),
             ..SimStats::default()
         };
         assert_eq!(s.channel_utilization(2), 1.0);
@@ -251,5 +344,34 @@ mod tests {
         assert_eq!(s.channel_utilization(99), 0.0);
         let hot = s.hottest_channels(2);
         assert_eq!(hot, vec![(2, 1.0), (1, 0.5)]);
+    }
+
+    #[test]
+    fn channel_busy_equality_is_logical_not_physical() {
+        // Sparse accumulation vs. dense conversion: same logical content,
+        // different materialized pages — must compare equal.
+        let mut sparse = ChannelBusy::zeros(10_000);
+        sparse.add(7, 3);
+        sparse.add(9_999, 5);
+        let dense: ChannelBusy = {
+            let mut v = vec![0u64; 10_000];
+            v[7] = 3;
+            v[9_999] = 5;
+            v.into()
+        };
+        assert_eq!(sparse, dense);
+        assert_eq!(sparse.to_vec(), dense.to_vec());
+        assert!(sparse.touched_channels() < dense.len());
+        let mut other = ChannelBusy::zeros(10_000);
+        other.add(7, 3);
+        assert_ne!(sparse, other);
+        assert_ne!(sparse, ChannelBusy::zeros(9_999), "length matters");
+        assert_eq!(sparse.get(7), 3);
+        assert_eq!(sparse.get(8), 0);
+        assert_eq!(sparse.get(123_456), 0, "out of range reads 0");
+        assert_eq!(
+            sparse.nonzero().collect::<Vec<_>>(),
+            vec![(7, 3), (9_999, 5)]
+        );
     }
 }

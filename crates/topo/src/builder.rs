@@ -4,7 +4,7 @@ use crate::channel::Channel;
 use crate::error::TopoError;
 use crate::ids::{ChannelId, NodeId};
 use crate::kind::NodeKind;
-use crate::topology::Topology;
+use crate::topology::{RevMap, Topology};
 
 /// Builds a [`Topology`] node-by-node and cable-by-cable.
 ///
@@ -124,7 +124,7 @@ impl TopologyBuilder {
             out_chan,
             in_first,
             in_chan,
-            rev: self.rev,
+            rev: RevMap::Table(self.rev),
         };
         debug_assert_eq!(topo.audit(), Ok(()));
         topo

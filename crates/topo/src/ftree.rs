@@ -1,6 +1,7 @@
 //! The two-level folded-Clos network `ftree(n+m, r)` (paper Fig. 1 (b)).
 
 use crate::builder::TopologyBuilder;
+use crate::compact::{build_paired_csr, Cable};
 use crate::error::TopoError;
 use crate::ids::{ChannelId, NodeId};
 use crate::kind::NodeKind;
@@ -60,28 +61,47 @@ impl Ftree {
         let channels = 2 * ((r as u128) * (n as u128) + (r as u128) * (m as u128));
         TopologyBuilder::check_size(nodes, channels)?;
 
-        let mut b = TopologyBuilder::with_capacity(nodes as usize, channels as usize);
-        b.add_nodes(NodeKind::Leaf, r * n);
-        b.add_nodes(NodeKind::Switch { level: 1 }, r);
-        b.add_nodes(NodeKind::Switch { level: 2 }, m);
+        let mut kinds = Vec::with_capacity(nodes as usize);
+        kinds.resize(r * n, NodeKind::Leaf);
+        kinds.resize(r * n + r, NodeKind::Switch { level: 1 });
+        kinds.resize(r * n + r + m, NodeKind::Switch { level: 2 });
 
-        let leaf = |v: usize, k: usize| NodeId((v * n + k) as u32);
-        let bottom = |v: usize| NodeId((r * n + v) as u32);
-        let top = |t: usize| NodeId((r * n + r + t) as u32);
-
-        // Leaf cables first (bottom down-ports 0..n), then uplinks
-        // (bottom up-ports n..n+m; top switch t's port to bottom v is v).
-        for v in 0..r {
-            for k in 0..n {
-                b.connect_bidir(leaf(v, k), bottom(v));
-            }
-        }
-        for v in 0..r {
-            for t in 0..m {
-                b.connect_bidir(bottom(v), top(t));
-            }
-        }
-        let topo = b.finish();
+        // Cable layout mirrors the historical connect order exactly, so the
+        // closed-form `*_channel` ids below stay valid: leaf cables first
+        // (bottom down-ports 0..n), then uplinks in (v, t) order (bottom
+        // up-ports n..n+m; top switch t's port to bottom v is v).
+        let leaf_cables = r * n;
+        let topo = build_paired_csr(
+            kinds,
+            |x| {
+                if x < r * n {
+                    1
+                } else if x < r * n + r {
+                    n + m
+                } else {
+                    r
+                }
+            },
+            leaf_cables + r * m,
+            |l| {
+                if l < leaf_cables {
+                    Cable {
+                        a: l as u32,
+                        b: (r * n + l / n) as u32,
+                        port_a: 0,
+                        port_b: (l % n) as u32,
+                    }
+                } else {
+                    let (v, t) = ((l - leaf_cables) / m, (l - leaf_cables) % m);
+                    Cable {
+                        a: (r * n + v) as u32,
+                        b: (r * n + r + t) as u32,
+                        port_a: (n + t) as u32,
+                        port_b: v as u32,
+                    }
+                }
+            },
+        )?;
         Ok(Self { n, m, r, topo })
     }
 

@@ -40,6 +40,7 @@ pub mod builder;
 pub mod capacity;
 pub mod channel;
 pub mod clos;
+pub(crate) mod compact;
 pub mod crossbar;
 pub mod dot;
 pub mod error;

@@ -9,6 +9,7 @@
 //! to the bottom switches' uplinks.
 
 use crate::builder::TopologyBuilder;
+use crate::compact::{build_paired_csr, Cable};
 use crate::error::TopoError;
 use crate::ids::{ChannelId, NodeId};
 use crate::kind::NodeKind;
@@ -56,42 +57,71 @@ impl RecursiveNonblocking {
             + (n2 as u128) * (inner_r as u128) * (n2 as u128); // inner bottom -> inner top
         TopologyBuilder::check_size(nodes, 2 * cables)?;
 
-        let mut b = TopologyBuilder::with_capacity(nodes as usize, 2 * cables as usize);
         let leaves = leaves as usize;
-        b.add_nodes(NodeKind::Leaf, leaves);
-        b.add_nodes(NodeKind::Switch { level: 1 }, r);
-        b.add_nodes(NodeKind::Switch { level: 2 }, n2 * inner_r);
-        b.add_nodes(NodeKind::Switch { level: 3 }, n2 * n2);
+        let mut kinds = Vec::with_capacity(nodes as usize);
+        kinds.resize(leaves, NodeKind::Leaf);
+        kinds.resize(leaves + r, NodeKind::Switch { level: 1 });
+        kinds.resize(leaves + r + n2 * inner_r, NodeKind::Switch { level: 2 });
+        kinds.resize(
+            leaves + r + n2 * inner_r + n2 * n2,
+            NodeKind::Switch { level: 3 },
+        );
 
-        let leaf = |v: usize, k: usize| NodeId((v * n + k) as u32);
-        let bottom = |v: usize| NodeId((leaves + v) as u32);
-        let inner_bottom = |g: usize, ib: usize| NodeId((leaves + r + g * inner_r + ib) as u32);
-        let inner_top =
-            |g: usize, t: usize| NodeId((leaves + r + n2 * inner_r + g * n2 + t) as u32);
-
-        for v in 0..r {
-            for k in 0..n {
-                b.connect_bidir(leaf(v, k), bottom(v));
-            }
-        }
-        // Bottom v's uplink g enters inner fabric g at inner-leaf-port v,
-        // i.e. inner bottom v/n, down-port v%n.
-        for v in 0..r {
-            for g in 0..n2 {
-                b.connect_bidir(bottom(v), inner_bottom(g, v / n));
-            }
-        }
-        for g in 0..n2 {
-            for ib in 0..inner_r {
-                for t in 0..n2 {
-                    b.connect_bidir(inner_bottom(g, ib), inner_top(g, t));
+        // Cable blocks mirror the historical connect order exactly so the
+        // closed-form `*_channel` ids stay valid:
+        //   A. leaf cables in (v, k) order;
+        //   B. bottom uplinks in (v, g) order — bottom v's uplink g enters
+        //      inner fabric g at inner-leaf-port v, i.e. inner bottom v/n,
+        //      down-port v%n, and bottom up-ports are n..n+n²;
+        //   C. inner tiers in (g, ib, t) order — inner bottom up-ports are
+        //      n..n+n², inner top (g, t)'s port to inner bottom ib is ib.
+        let block_b = leaves; // first uplink cable
+        let block_c = leaves + r * n2; // first inner-tier cable
+        let total_cables = block_c + n2 * inner_r * n2;
+        let ib_first = leaves + r; // first inner-bottom node id
+        let it_first = leaves + r + n2 * inner_r; // first inner-top node id
+        let topo = build_paired_csr(
+            kinds,
+            |x| {
+                if x < leaves {
+                    1
+                } else if x < it_first {
+                    n + n2 // bottoms and inner bottoms: uniform radix
+                } else {
+                    inner_r // inner tops
                 }
-            }
-        }
-        Ok(Self {
-            n,
-            topo: b.finish(),
-        })
+            },
+            total_cables,
+            |l| {
+                if l < block_b {
+                    Cable {
+                        a: l as u32,
+                        b: (leaves + l / n) as u32,
+                        port_a: 0,
+                        port_b: (l % n) as u32,
+                    }
+                } else if l < block_c {
+                    let (v, g) = ((l - block_b) / n2, (l - block_b) % n2);
+                    Cable {
+                        a: (leaves + v) as u32,
+                        b: (ib_first + g * inner_r + v / n) as u32,
+                        port_a: (n + g) as u32,
+                        port_b: (v % n) as u32,
+                    }
+                } else {
+                    let l3 = l - block_c;
+                    let (g, rem) = (l3 / (inner_r * n2), l3 % (inner_r * n2));
+                    let (ib, t) = (rem / n2, rem % n2);
+                    Cable {
+                        a: (ib_first + g * inner_r + ib) as u32,
+                        b: (it_first + g * n2 + t) as u32,
+                        port_a: (n + t) as u32,
+                        port_b: ib as u32,
+                    }
+                }
+            },
+        )?;
+        Ok(Self { n, topo })
     }
 
     /// The construction parameter.

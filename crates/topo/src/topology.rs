@@ -6,6 +6,25 @@ use crate::ids::{ChannelId, NodeId};
 use crate::kind::NodeKind;
 use serde::{Deserialize, Serialize};
 
+/// How reverse channels are represented.
+///
+/// The closed-form family builders lay out every bidirectional cable `l` as
+/// the adjacent channel pair `2l` / `2l + 1`, so the reverse map is the
+/// constant-time involution `c ^ 1` and storing a table would waste
+/// 4 bytes per channel (1.7 GB at recursive `n = 24`). Hand-built
+/// topologies (crossbars, unidirectional Clos stages, test graphs) keep the
+/// explicit table, which also encodes "no reverse" for unidirectional
+/// channels.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum RevMap {
+    /// Fully bidirectional fabric with cable directions at ids `2l`/`2l+1`:
+    /// `rev(c) = c ^ 1`.
+    Paired,
+    /// Explicit per-channel table; [`ChannelId::INVALID`] marks
+    /// unidirectional channels.
+    Table(Vec<ChannelId>),
+}
+
 /// A directed multigraph of leaves and switches with CSR adjacency.
 ///
 /// Construct through [`crate::TopologyBuilder`] or one of the family
@@ -25,8 +44,8 @@ pub struct Topology {
     pub(crate) in_first: Vec<u32>,
     /// Incoming channels of each node, ordered by destination port.
     pub(crate) in_chan: Vec<ChannelId>,
-    /// Reverse channel of each channel (INVALID for unidirectional links).
-    pub(crate) rev: Vec<ChannelId>,
+    /// Reverse channel map (paired involution or explicit table).
+    pub(crate) rev: RevMap,
 }
 
 impl Topology {
@@ -90,8 +109,32 @@ impl Topology {
     /// The paired reverse channel, if the link is bidirectional.
     #[inline]
     pub fn reverse(&self, ch: ChannelId) -> Option<ChannelId> {
-        let r = self.rev[ch.index()];
-        r.is_valid().then_some(r)
+        match &self.rev {
+            RevMap::Paired => {
+                debug_assert!(ch.index() < self.channels.len());
+                Some(ChannelId(ch.0 ^ 1))
+            }
+            RevMap::Table(t) => {
+                let r = t[ch.index()];
+                r.is_valid().then_some(r)
+            }
+        }
+    }
+
+    /// Resident size of the topology's backing arrays, in bytes (excluding
+    /// constant struct overhead). This is the figure the sparse-state work
+    /// budgets against: at recursive `n = 24` the fabric itself is several
+    /// GB while the simulator should stay `O(touched)`.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.kinds.len() * size_of::<NodeKind>()
+            + self.channels.len() * size_of::<Channel>()
+            + (self.out_first.len() + self.in_first.len()) * size_of::<u32>()
+            + (self.out_chan.len() + self.in_chan.len()) * size_of::<ChannelId>()
+            + match &self.rev {
+                RevMap::Paired => 0,
+                RevMap::Table(t) => t.len() * size_of::<ChannelId>(),
+            }
     }
 
     /// Find the (first) channel from `src` to `dst`.
@@ -187,20 +230,31 @@ impl Topology {
         if self.in_first.len() != self.num_nodes() + 1 {
             return Err("in_first length mismatch".into());
         }
-        if self.rev.len() != self.num_channels() {
-            return Err("rev length mismatch".into());
+        match &self.rev {
+            RevMap::Table(t) => {
+                if t.len() != self.num_channels() {
+                    return Err("rev length mismatch".into());
+                }
+            }
+            RevMap::Paired => {
+                if !self.num_channels().is_multiple_of(2) {
+                    return Err("paired rev map requires an even channel count".into());
+                }
+            }
         }
         for (i, ch) in self.channels.iter().enumerate() {
             if ch.src.index() >= self.num_nodes() || ch.dst.index() >= self.num_nodes() {
                 return Err(format!("channel {i} has endpoint out of range"));
             }
-            let r = self.rev[i];
-            if r.is_valid() {
+            if let Some(r) = self.reverse(ChannelId(i as u32)) {
+                if r.index() >= self.num_channels() {
+                    return Err(format!("channel {i} reverse out of range"));
+                }
                 let rc = self.channel(r);
                 if rc.src != ch.dst || rc.dst != ch.src {
                     return Err(format!("channel {i} reverse endpoints mismatch"));
                 }
-                if self.rev[r.index()] != ChannelId(i as u32) {
+                if self.reverse(r) != Some(ChannelId(i as u32)) {
                     return Err(format!(
                         "reverse pairing of channel {i} is not an involution"
                     ));

@@ -4,6 +4,7 @@
 //! (Lin, Chung & Huang) — the paper's Table I comparator.
 
 use crate::builder::TopologyBuilder;
+use crate::compact::{build_paired_csr, Cable};
 use crate::error::TopoError;
 use crate::ids::NodeId;
 use crate::kind::NodeKind;
@@ -104,40 +105,68 @@ impl Xgft {
             level_base[level + 1] = level_base[level] + count[level];
         }
 
-        let mut b = TopologyBuilder::with_capacity(total as usize, 2 * cables as usize);
-        b.add_nodes(NodeKind::Leaf, count[0]);
-        #[allow(clippy::needless_range_loop)]
+        let mut kinds = Vec::with_capacity(total as usize);
+        kinds.resize(count[0], NodeKind::Leaf);
         for level in 1..=h {
-            b.add_nodes(NodeKind::Switch { level: level as u8 }, count[level]);
+            kinds.resize(
+                level_base[level + 1],
+                NodeKind::Switch { level: level as u8 },
+            );
         }
 
-        // Connect tier i (level i-1 children to level i parents), bottom-up
-        // so down-ports precede up-ports on every switch.
+        // Cables are laid out tier-by-tier (level i-1 children to level i
+        // parents), each tier in (child, yi) order — bottom-up so down-ports
+        // precede up-ports on every switch, mirroring the historical connect
+        // order. `wp` is ∏_{j<i} w_j, the y-suffix size of a level-(i-1)
+        // label; a level-i parent's down-port for a child is the child's
+        // free digit x_lo, its up-port for parent yi is (#children) + yi.
+        let mut tier_base = vec![0usize; h + 2];
+        let mut wps = vec![1usize; h + 1];
         for i in 1..=h {
-            // wp = prod_{j<i} w_j: size of the y-suffix of a level-(i-1) label.
-            let wp: usize = ws[..i - 1].iter().product();
-            let m_i = ms[i - 1];
-            let w_i = ws[i - 1];
-            for child in 0..count[i - 1] {
-                let x = child / wp;
-                let y = child % wp;
-                let x_hi = x / m_i;
-                for yi in 0..w_i {
-                    let parent = (x_hi * w_i + yi) * wp + y;
-                    debug_assert!(parent < count[i]);
-                    b.connect_bidir(
-                        NodeId((level_base[i - 1] + child) as u32),
-                        NodeId((level_base[i] + parent) as u32),
-                    );
-                }
-            }
+            wps[i] = ws[..i - 1].iter().product();
+            tier_base[i + 1] = tier_base[i] + count[i - 1] * ws[i - 1];
         }
+        let total_cables = tier_base[h + 1];
+        let ms_v = ms.to_vec();
+        let ws_v = ws.to_vec();
+        let lb = level_base.clone();
+        let topo = build_paired_csr(
+            kinds,
+            |node| {
+                let level = match lb.binary_search(&node) {
+                    Ok(l) => l.min(h),
+                    Err(l) => l - 1,
+                };
+                let down = if level == 0 { 0 } else { ms_v[level - 1] };
+                let up = if level == h { 0 } else { ws_v[level] };
+                down + up
+            },
+            total_cables,
+            |l| {
+                let mut i = 1;
+                while tier_base[i + 1] <= l {
+                    i += 1;
+                }
+                let j = l - tier_base[i];
+                let (w_i, m_i, wp) = (ws_v[i - 1], ms_v[i - 1], wps[i]);
+                let (child, yi) = (j / w_i, j % w_i);
+                let (x, y) = (child / wp, child % wp);
+                let parent = ((x / m_i) * w_i + yi) * wp + y;
+                let down_ports = if i == 1 { 0 } else { ms_v[i - 2] };
+                Cable {
+                    a: (lb[i - 1] + child) as u32,
+                    b: (lb[i] + parent) as u32,
+                    port_a: (down_ports + yi) as u32,
+                    port_b: (x % m_i) as u32,
+                }
+            },
+        )?;
         Ok(Self {
             h,
             ms: ms.to_vec(),
             ws: ws.to_vec(),
             level_base,
-            topo: b.finish(),
+            topo,
         })
     }
 

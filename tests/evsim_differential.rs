@@ -10,14 +10,56 @@
 //! less means the event engine changed semantics, not just schedule.
 
 use ftclos::evsim::EventSimulator;
-use ftclos::routing::{DModK, ObliviousMultipath, SpreadPolicy, XgftRouter, YuanRecursive};
+use ftclos::routing::{
+    DModK, ObliviousMultipath, SinglePathRouter, SpreadPolicy, XgftRouter, YuanRecursive,
+};
 use ftclos::sim::{
-    Arbiter, ChurnConfig, ChurnSchedule, FaultSchedule, Policy, ReplanMode, SimConfig, SimStats,
-    Simulator, Workload,
+    Arbiter, ChurnConfig, ChurnSchedule, FaultSchedule, Policy, ReplanMode, SimArena, SimConfig,
+    SimStats, Simulator, Workload,
 };
 use ftclos::topo::{kary_ntree, Ftree, RecursiveNonblocking, Topology};
 use ftclos::traffic::patterns;
 use proptest::prelude::*;
+
+/// An arena that materializes every page up front — the dense layout the
+/// engines had before paged state existed.
+fn dense_arena() -> SimArena {
+    let mut a = SimArena::new();
+    a.set_prefill_on_prepare(true);
+    a
+}
+
+/// Run both engines twice each — once with lazy paged state, once with
+/// every page prefilled dense — and require all four outcomes identical:
+/// stats bit for bit, and errors (stall cycle, strand graph, wait cycle)
+/// field for field. This pins the tentpole claim that paging changes
+/// *where state lives*, never what the simulation does.
+fn assert_sparse_dense_identical(
+    topo: &Topology,
+    cfg: SimConfig,
+    policy: &Policy,
+    w: &Workload,
+    seed: u64,
+    faults: &FaultSchedule,
+) {
+    let lazy_oracle =
+        Simulator::new(topo, cfg, policy.clone()).try_run_with_faults(w, seed, faults);
+    let dense_oracle = Simulator::with_arena(topo, cfg, policy.clone(), dense_arena())
+        .try_run_with_faults(w, seed, faults);
+    let lazy_event =
+        EventSimulator::new(topo, cfg, policy.clone()).try_run_with_faults(w, seed, faults);
+    let dense_event = EventSimulator::with_arena(topo, cfg, policy.clone(), dense_arena())
+        .try_run_with_faults(w, seed, faults);
+    assert_eq!(
+        lazy_oracle, dense_oracle,
+        "cycle engine: sparse vs dense-prefill diverged"
+    );
+    assert_eq!(
+        lazy_event, dense_event,
+        "event engine: sparse vs dense-prefill diverged"
+    );
+    assert_eq!(lazy_oracle, lazy_event, "engines diverged");
+}
 
 /// Run both engines on identical inputs; the stats must be equal field for
 /// field (including `channel_busy`) and conserve packets.
@@ -198,6 +240,242 @@ proptest! {
             &FaultSchedule::new(),
         );
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sparse paged state vs dense-prefilled state, across random ftree
+    /// shapes, rates, seeds, and arbiters: all four engine/state
+    /// combinations produce bit-identical stats.
+    #[test]
+    fn sparse_vs_dense_shapes_agree_exactly(
+        (n, m, r) in (1usize..3, 1usize..5, 2usize..5),
+        rate in 0.1f64..1.0,
+        seed in 0u64..1u64 << 48,
+        arbiter_pick in 0u8..6,
+        drain in proptest::bool::ANY,
+    ) {
+        let ft = Ftree::new(n, m, r).unwrap();
+        let policy = Policy::from_single_path(&DModK::new(&ft));
+        let ports = ft.num_leaves() as u32;
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 400,
+            arbiter: arbiter_from(arbiter_pick),
+            drain,
+            ..SimConfig::default()
+        };
+        assert_sparse_dense_identical(
+            ft.topology(),
+            cfg,
+            &policy,
+            &Workload::uniform_random(ports, rate),
+            seed,
+            &FaultSchedule::new(),
+        );
+    }
+
+    /// Sparse vs dense under random fault masks with TTL and retries: the
+    /// touched-page timeout sweep must expire packets in exactly the dense
+    /// chained-scan order (untouched queues are empty, so restricting the
+    /// scan to materialized pages drops nothing).
+    #[test]
+    fn sparse_vs_dense_fault_masks_agree_exactly(
+        num_kills in 0usize..5,
+        kills in ((50u64..500, 0usize..16), (50u64..500, 0usize..16),
+                  (50u64..500, 0usize..16), (50u64..500, 0usize..16)),
+        seed in 0u64..1u64 << 48,
+        rate in 0.2f64..0.9,
+    ) {
+        let ft = Ftree::new(2, 4, 4).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let policy = Policy::from_multipath(&mp, true);
+        let mut faults = FaultSchedule::new();
+        let kills = [kills.0, kills.1, kills.2, kills.3];
+        for &(cycle, c) in kills.iter().take(num_kills) {
+            faults.kill_link(cycle, ft.topology(), ft.up_channel(c % 4, c / 4));
+            faults.revive_link(cycle + 150, ft.topology(), ft.up_channel(c % 4, c / 4));
+        }
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 500,
+            ttl_cycles: 40,
+            retry: true,
+            retry_limit: 5,
+            drain: true,
+            ..SimConfig::default()
+        };
+        let perm = patterns::shift(8, 3);
+        assert_sparse_dense_identical(
+            ft.topology(),
+            cfg,
+            &policy,
+            &Workload::permutation(&perm, rate),
+            seed,
+            &faults,
+        );
+    }
+
+    /// Sparse vs dense under churn: the per-epoch reports (availability,
+    /// reconvergence, transition counts) are identical too.
+    #[test]
+    fn sparse_vs_dense_churn_reports_agree_exactly(
+        down in 100u64..400,
+        outage in 50u64..300,
+        seed in 0u64..1u64 << 48,
+        mode_pick in 0usize..3,
+    ) {
+        let ft = Ftree::new(2, 4, 4).unwrap();
+        let mp = ObliviousMultipath::new(&ft, SpreadPolicy::Random);
+        let mut schedule = ChurnSchedule::new();
+        schedule.kill_link(down, ft.topology(), ft.up_channel(0, 1));
+        schedule.revive_link(down + outage, ft.topology(), ft.up_channel(0, 1));
+        let mode = [
+            ReplanMode::Pinned,
+            ReplanMode::PerCycle,
+            ReplanMode::Hysteresis { k: 100 },
+        ][mode_pick];
+        let churn = ChurnConfig { mode, epsilon: 0.1, recovery_window: 50 };
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 800,
+            ttl_cycles: 50,
+            drain: true,
+            ..SimConfig::default()
+        };
+        let perm = patterns::shift(8, 3);
+        let w = Workload::permutation(&perm, 0.5);
+        let lazy = EventSimulator::new(ft.topology(), cfg, Policy::from_multipath(&mp, true))
+            .try_run_churn(&w, seed, &schedule, &churn)
+            .unwrap();
+        let dense = EventSimulator::with_arena(
+            ft.topology(), cfg, Policy::from_multipath(&mp, true), dense_arena())
+            .try_run_churn(&w, seed, &schedule, &churn)
+            .unwrap();
+        prop_assert_eq!(lazy, dense, "churn run diverged between sparse and dense state");
+    }
+}
+
+/// A wedged fabric must stall identically under sparse and dense state:
+/// same cycle, same strand graph, same wait cycle. The stall report walks
+/// touched pages only, so this pins that sparse diagnosis sees everything
+/// the dense scan saw.
+#[test]
+fn sparse_vs_dense_stall_strand_graphs_agree() {
+    let ft = Ftree::new(1, 1, 4).unwrap();
+    let r = 4u32;
+    let routes: Vec<(u32, u32, Vec<ftclos::topo::ChannelId>)> = (0..r)
+        .map(|v| {
+            let w = (v + 3) % r;
+            let mut channels = vec![ft.leaf_up_channel(v as usize, 0)];
+            for k in 0..3 {
+                channels.push(ft.up_channel((v as usize + k) % 4, 0));
+                channels.push(ft.down_channel(0, (v as usize + k + 1) % 4));
+            }
+            channels.push(ft.leaf_down_channel(w as usize, 0));
+            (v, w, channels)
+        })
+        .collect();
+    let policy = Policy::from_pinned(
+        ft.topology(),
+        routes.iter().map(|(s, d, p)| (*s, *d, p.as_slice())),
+    )
+    .unwrap();
+    let pairs: Vec<(u32, u32)> = routes.iter().map(|(s, d, _)| (*s, *d)).collect();
+    let w = Workload::fixed_pairs(4, &pairs, 1.0);
+    let cfg = SimConfig {
+        warmup_cycles: 0,
+        measure_cycles: 200,
+        queue_capacity: 2,
+        drain: true,
+        stall_watchdog: 64,
+        ..SimConfig::default()
+    };
+    assert_sparse_dense_identical(
+        ft.topology(),
+        cfg,
+        &policy,
+        &w,
+        0xDEAD,
+        &FaultSchedule::new(),
+    );
+}
+
+/// Thread-count knob sweep: the vendored rayon shim is sequential, and
+/// simulation itself is single-threaded by design, so `RAYON_NUM_THREADS`
+/// must have zero observable effect on build, route, or replay. Pinning
+/// this keeps a future parallel build path honest about determinism.
+#[test]
+fn rayon_thread_counts_do_not_perturb_replay() {
+    let mut results: Vec<SimStats> = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let ft = Ftree::new(2, 3, 6).unwrap();
+        let policy = Policy::from_single_path(&DModK::new(&ft));
+        let perm = patterns::shift(ft.num_leaves() as u32, 5);
+        let cfg = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 600,
+            drain: true,
+            ..SimConfig::default()
+        };
+        let stats = EventSimulator::new(ft.topology(), cfg, policy)
+            .try_run(&Workload::permutation(&perm, 0.8), 21)
+            .unwrap();
+        results.push(stats);
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(results[0], results[1], "1 vs 2 threads diverged");
+    assert_eq!(results[0], results[2], "1 vs 8 threads diverged");
+}
+
+/// The memory regression gate: on a fabric where traffic touches a handful
+/// of channels, the arena must materialize O(touched) pages, not
+/// O(channels). A return to dense allocation fails here long before it
+/// OOMs coreperf.
+#[test]
+fn untouched_fabric_allocates_o_touched_pages() {
+    // 16384 hosts, 65536 directed channels -> 128 pages per channel array
+    // dense; two flows should touch a handful. Pin just the two flows'
+    // d-mod-k routes: precomputing all 268M pairs would swamp the test.
+    let ft = Ftree::new(16, 16, 1024).unwrap();
+    let num_channels = ft.topology().num_channels();
+    let pairs = [(0u32, 9000u32), (5u32, 12000u32)];
+    let router = DModK::new(&ft);
+    let routes: Vec<(u32, u32, Vec<ftclos::topo::ChannelId>)> = pairs
+        .iter()
+        .map(|&(s, d)| {
+            let path = router.route(ftclos::traffic::SdPair::new(s, d));
+            (s, d, path.channels().to_vec())
+        })
+        .collect();
+    let policy = Policy::from_pinned(
+        ft.topology(),
+        routes.iter().map(|(s, d, p)| (*s, *d, p.as_slice())),
+    )
+    .unwrap();
+    let ports = ft.num_leaves() as u32;
+    let w = Workload::fixed_pairs(ports, &pairs, 0.5);
+    let cfg = SimConfig {
+        warmup_cycles: 50,
+        measure_cycles: 200,
+        drain: true,
+        ..SimConfig::default()
+    };
+    let mut sim = EventSimulator::new(ft.topology(), cfg, policy);
+    let stats = sim.try_run(&w, 77).unwrap();
+    assert!(
+        stats.delivered_total > 0,
+        "flows must actually move packets"
+    );
+    let arena = sim.into_arena();
+    let touched = arena.touched_channels();
+    assert!(touched > 0, "moving packets must touch state");
+    assert!(
+        touched * 8 < num_channels,
+        "paged state must stay O(touched): {touched} of {num_channels} channels materialized"
+    );
 }
 
 /// The recursive three-level nonblocking construction — the shape the

@@ -9,7 +9,9 @@
 
 /// Parallel-iterator entry points, sequential under the hood.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
 }
 
 /// `into_par_iter()` for anything iterable by value.
@@ -53,6 +55,43 @@ where
     }
 }
 
+/// `par_iter_mut()` for anything iterable by exclusive reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (an exclusive reference into `self`).
+    type Item: 'data;
+    /// Sequential stand-in for rayon's by-mutable-reference parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoIterator,
+{
+    type Iter = <&'data mut I as IntoIterator>::IntoIter;
+    type Item = <&'data mut I as IntoIterator>::Item;
+    #[inline]
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_chunks_mut()` for slices, mirroring `rayon::slice::ParallelSliceMut`.
+/// Disjoint chunks make scatter-style fills data-race-free under the real
+/// crate; here they simply run in order.
+pub trait ParallelSliceMut<T: Send> {
+    /// Sequential stand-in for rayon's parallel mutable chunk iterator.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -75,5 +114,23 @@ mod tests {
         let data = vec!["a", "b"];
         let pairs: Vec<(usize, &&str)> = data.par_iter().enumerate().collect();
         assert_eq!(pairs[1].0, 1);
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut data = vec![1u32, 2, 3];
+        data.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(data, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice_in_order() {
+        let mut data = vec![0u32; 7];
+        data.par_chunks_mut(3).enumerate().for_each(|(ci, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 3 + j) as u32;
+            }
+        });
+        assert_eq!(data, vec![0, 1, 2, 3, 4, 5, 6]);
     }
 }
