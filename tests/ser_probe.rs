@@ -1,0 +1,12 @@
+#[test]
+fn channel_busy_serde_roundtrip() {
+    let mut cb = ftclos_sim::ChannelBusy::zeros(2000);
+    cb.add(7, 3);
+    cb.add(1500, 9);
+    let s = serde_json::to_string(&cb).unwrap();
+    println!("serialized: {}", &s[..s.len().min(400)]);
+    let back: ftclos_sim::ChannelBusy = serde_json::from_str(&s).unwrap();
+    assert_eq!(back, cb);
+    assert_eq!(back.get(7), 3);
+    assert_eq!(back.len(), 2000);
+}
