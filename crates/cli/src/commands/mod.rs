@@ -8,6 +8,7 @@ pub mod build;
 pub mod campaign;
 pub mod churn;
 pub mod common;
+pub mod congestion;
 pub mod deadlock;
 pub mod design;
 pub mod faults;

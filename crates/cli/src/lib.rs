@@ -17,6 +17,9 @@
 //!               [--samples N] [--seed S] [--target F --max-m M]
 //! ftclos flowsim <n> <m> <r> [--router R] [--pattern P] [--seed S] [--json]
 //!                [--fail-tops K] [--fail-links K]
+//! ftclos congestion <n> <m> <r> [--mode greedy|rounded|repaired] [--pattern P]
+//!                 [--seed S] [--trials N] [--fail-tops K] [--fail-links K]
+//!                 [--churn-links K --mtbf N --mttr N --churn-cycles N] [--json]
 //! ftclos deadlock <n> <m> <r> [--router R|valley|all] [--fail-tops K]
 //!                 [--fail-links K] [--seed S] [--churn-links K] [--inject]
 //!                 [--json]
@@ -117,6 +120,10 @@ fn dispatch(cmd: &str, opts: &Opts, reg: &Registry) -> Result<String, CliError> 
             let _s = reg.span("cmd.flowsim");
             commands::flowsim::run(opts, reg)
         }
+        "congestion" => {
+            let _s = reg.span("cmd.congestion");
+            commands::congestion::run(opts, reg)
+        }
         "stats" => commands::stats::run(opts, reg),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
@@ -173,6 +180,9 @@ USAGE:
                 [--samples N] [--seed S] [--target F --max-m M]
   ftclos flowsim <n> <m> <r> [--router R] [--pattern P] [--seed S] [--json]
                  [--fail-tops K] [--fail-links K]
+  ftclos congestion <n> <m> <r> [--mode greedy|rounded|repaired] [--pattern P]
+                  [--seed S] [--trials N] [--fail-tops K] [--fail-links K]
+                  [--churn-links K --mtbf N --mttr N --churn-cycles N] [--json]
   ftclos deadlock <n> <m> <r> [--router yuan|dmodk|smodk|multipath|adaptive|valley|all]
                   [--fail-tops K] [--fail-links K] [--seed S]
                   [--churn-links K --mtbf N --mttr N --churn-cycles N]

@@ -177,6 +177,54 @@ fn campaign_reports_are_thread_count_invariant() {
 }
 
 #[test]
+fn congestion_head_to_head_is_thread_count_invariant() {
+    // Greedy order, rounding RNG streams (keyed by seed + trial alone),
+    // repair scan order, and the embedded fluid rates are all deterministic;
+    // the full head-to-head table must be byte-identical at any thread
+    // count, in both output forms.
+    assert_thread_invariant(&["congestion", "2", "4", "5", "--json"]);
+    assert_thread_invariant(&[
+        "congestion",
+        "2",
+        "2",
+        "5",
+        "--pattern",
+        "random",
+        "--seed",
+        "3",
+    ]);
+}
+
+#[test]
+fn congestion_faulted_and_churn_reports_are_thread_count_invariant() {
+    // Fault-masked candidates plus the per-epoch churn replay: the flap
+    // schedule, epoch fault sets, and masked solves are all seed-keyed.
+    assert_thread_invariant(&[
+        "congestion",
+        "2",
+        "4",
+        "5",
+        "--fail-tops",
+        "1",
+        "--seed",
+        "7",
+        "--json",
+    ]);
+    assert_thread_invariant(&[
+        "congestion",
+        "2",
+        "4",
+        "5",
+        "--churn-links",
+        "2",
+        "--churn-cycles",
+        "800",
+        "--seed",
+        "5",
+    ]);
+}
+
+#[test]
 fn campaign_checkpoint_resume_matches_uninterrupted_at_any_thread_count() {
     // Halting after 2 of 4 waves, then resuming from the checkpoint file,
     // must reproduce the uninterrupted report byte-for-byte — and the

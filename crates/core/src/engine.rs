@@ -167,6 +167,8 @@ pub struct ContentionScratch {
     epoch: u32,
     stamp: Vec<u32>,
     owner: Vec<SdPair>,
+    loads: Vec<u32>,
+    touched: Vec<ChannelId>,
 }
 
 impl ContentionScratch {
@@ -176,6 +178,8 @@ impl ContentionScratch {
             epoch: 0,
             stamp: vec![0; num_channels],
             owner: vec![SdPair::new(0, 0); num_channels],
+            loads: vec![0; num_channels],
+            touched: Vec::new(),
         }
     }
 
@@ -213,6 +217,46 @@ impl ContentionScratch {
             }
         }
         None
+    }
+
+    /// The maximum link load of `assignment` with its deterministic
+    /// witness — the **lowest-id** channel carrying that load — or `None`
+    /// when no path crosses any channel. Same epoch-stamp discipline as
+    /// [`ContentionScratch::find_contention`]: one pass over the
+    /// assignment, zero hashing, buffers reused (and grown on demand)
+    /// across calls. This is the per-pattern congestion verdict the
+    /// min-congestion head-to-heads normalize on, so it must not depend on
+    /// route order, thread count, or hash iteration.
+    pub fn max_load_witness(&mut self, assignment: &RouteAssignment) -> Option<(ChannelId, u32)> {
+        self.begin();
+        self.touched.clear();
+        for (_, path) in assignment.routes() {
+            for &c in path.channels() {
+                let i = c.index();
+                if i >= self.stamp.len() {
+                    self.stamp.resize(i + 1, 0);
+                    self.owner.resize(i + 1, SdPair::new(0, 0));
+                }
+                if i >= self.loads.len() {
+                    self.loads.resize(i + 1, 0);
+                }
+                if self.stamp[i] != self.epoch {
+                    self.stamp[i] = self.epoch;
+                    self.loads[i] = 0;
+                    self.touched.push(c);
+                }
+                self.loads[i] += 1;
+            }
+        }
+        let max = self.touched.iter().map(|c| self.loads[c.index()]).max()?;
+        let witness = self
+            .touched
+            .iter()
+            .copied()
+            .filter(|c| self.loads[c.index()] == max)
+            .min()
+            .expect("max came from touched");
+        Some((witness, max))
     }
 }
 
@@ -539,6 +583,51 @@ mod tests {
                 assert!(on.contains(&w.a) && on.contains(&w.b));
             }
         }
+    }
+
+    #[test]
+    fn max_load_witness_matches_channel_loads() {
+        let ft = Ftree::new(2, 2, 5).unwrap();
+        let router = DModK::new(&ft);
+        let mut scratch = ContentionScratch::default();
+        for k in 0..10 {
+            let perm = patterns::shift(10, k);
+            let a = route_all(&router, &perm).unwrap();
+            let got = scratch.max_load_witness(&a);
+            let loads = a.channel_loads();
+            match got {
+                None => assert!(loads.is_empty(), "shift:{k}"),
+                Some((witness, max)) => {
+                    assert_eq!(max, a.max_channel_load(), "shift:{k}");
+                    assert_eq!(loads[&witness], max, "shift:{k}");
+                    // Deterministic: lowest-id among the max-loaded.
+                    for (&c, &l) in &loads {
+                        if l == max {
+                            assert!(witness <= c, "shift:{k}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_load_witness_epoch_reuse_and_empty_assignment() {
+        let mut scratch = ContentionScratch::with_channels(4);
+        assert_eq!(
+            scratch.max_load_witness(&RouteAssignment::new(vec![])),
+            None
+        );
+        let ft = Ftree::new(2, 4, 3).unwrap();
+        let router = YuanDeterministic::new(&ft).unwrap();
+        let perm = patterns::shift(6, 1);
+        let a = route_all(&router, &perm).unwrap();
+        let first = scratch.max_load_witness(&a);
+        // Interleave a contention probe, then repeat: stale stamps/loads
+        // from other epochs must not leak into the verdict.
+        let _ = scratch.find_contention(&a);
+        assert_eq!(scratch.max_load_witness(&a), first);
+        assert_eq!(first.map(|(_, m)| m), Some(1));
     }
 
     #[test]

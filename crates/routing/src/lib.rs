@@ -29,6 +29,10 @@
 //! * [`LinkLoadView`] — the uniform per-link flow-set interface every router
 //!   (including the fault-masked variants) exposes to the fluid flow-rate
 //!   simulator in `ftclos-flowsim`.
+//! * [`MinCongestion`] — the load-aware min-congestion router family
+//!   (greedy min-max placement, seeded randomized rounding, local-search
+//!   repair) planning whole patterns at once behind the [`GlobalRouter`]
+//!   plan step, then lowering onto [`SinglePathRouter`] / [`LinkLoadView`].
 //! * [`PathArena`] — every SD path of a single-path router precomputed once
 //!   into CSR storage (pair → path and channel → pair incidence), so the
 //!   exact analyzers in `ftclos-core` and the fluid flow expansion index
@@ -38,6 +42,7 @@ pub mod adaptive;
 pub mod arena;
 pub mod assignment;
 pub mod churn;
+pub mod congestion;
 pub mod dmodk;
 pub mod error;
 pub mod fault_aware;
@@ -56,6 +61,10 @@ pub use adaptive::{AdaptivePlan, NonblockingAdaptive, PlanStrategy};
 pub use arena::{ArenaLoadView, PathArena};
 pub use assignment::RouteAssignment;
 pub use churn::{EpochPlan, EpochPlanner, LinkAdmission};
+pub use congestion::{
+    demand_lower_bound, CongestionConfig, CongestionMode, CongestionPlan, FnCandidates,
+    FtreeCandidates, GlobalRouter, LoweredPlan, MinCongestion, PathCandidates, PlanLoadView,
+};
 pub use dmodk::{DModK, SModK};
 pub use error::RoutingError;
 pub use fault_aware::FaultAware;

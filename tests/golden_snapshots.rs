@@ -217,6 +217,38 @@ fn simulate_trace_counters_conserve() {
     );
 }
 
+/// The min-congestion head-to-head, pristine: every baseline row, the
+/// solver row with its move/round counters, and the per-pattern verdicts.
+#[test]
+fn congestion_pristine_text_is_stable() {
+    assert_matches_golden("congestion_2_4_5.txt", &cli("congestion 2 4 5"));
+}
+
+#[test]
+fn congestion_pristine_json_is_stable() {
+    assert_matches_golden("congestion_2_4_5.json", &cli("congestion 2 4 5 --json"));
+}
+
+/// Faulted head-to-head: a dead top switch turns the deterministic
+/// baselines unroutable while the masked solver still places the suite.
+#[test]
+fn congestion_faulted_text_is_stable() {
+    assert_matches_golden(
+        "congestion_2_4_5_failtop.txt",
+        &cli("congestion 2 4 5 --fail-tops 1 --seed 7"),
+    );
+}
+
+/// Churn epochs: each distinct fault epoch of the flap schedule replayed
+/// as a repaired-vs-dmodk line; the epoch list is seed-deterministic.
+#[test]
+fn congestion_churn_text_is_stable() {
+    assert_matches_golden(
+        "congestion_2_4_5_churn.txt",
+        &cli("congestion 2 4 5 --churn-links 2 --churn-cycles 800 --seed 5"),
+    );
+}
+
 /// Exhaustive k-fault-tolerance certification: the text certificate for
 /// adaptive routability over the top switches of `ftree(2+4, 5)`.
 #[test]
